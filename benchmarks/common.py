@@ -1,0 +1,119 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark module regenerates one table or figure from the paper,
+prints it in the paper's layout, and writes it to ``results/<name>.txt``
+so EXPERIMENTS.md can reference the measured numbers.  Dataset instances
+are cached per session (generation + oracle evaluation dominate setup).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+import numpy as np
+
+import repro.core.composition as comp
+from repro.core.string_match import DFA_TECHNIQUE, FULL
+from repro.data import load_dataset
+from repro.eval.harness import DatasetView, evaluate_atom
+from repro.eval.metrics import FilterMetrics
+from repro.eval.report import render_table
+from repro.hw.circuits import (
+    dfa_string_matcher_circuit,
+    full_matcher_circuit,
+    substring_matcher_circuit,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: default dataset size for accuracy benchmarks — large enough for stable
+#: FPRs, small enough to keep the full run in CI budgets
+NUM_RECORDS = 3000
+
+
+@functools.lru_cache(maxsize=None)
+def dataset(name, num_records=NUM_RECORDS):
+    return load_dataset(name, num_records)
+
+
+@functools.lru_cache(maxsize=None)
+def dataset_view(name, num_records=NUM_RECORDS):
+    return DatasetView(dataset(name, num_records))
+
+
+def write_result(name, text):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+# -- string-matcher tables (Tables I-III) -----------------------------------
+
+def exact_presence_truth(view, needle):
+    """Ground truth for the string tables: exact substring containment."""
+    return np.fromiter(
+        (needle.encode() in record for record in view.dataset),
+        dtype=bool,
+        count=view.num_records,
+    )
+
+
+def string_matcher_fpr(view, needle, block):
+    predicate = comp.StringPredicate(needle, block)
+    accepted = evaluate_atom(view, predicate, {})
+    truth = exact_presence_truth(view, needle)
+    return FilterMetrics(accepted, truth).fpr
+
+
+@functools.lru_cache(maxsize=None)
+def string_matcher_luts(needle, block):
+    if block == DFA_TECHNIQUE:
+        return dfa_string_matcher_circuit(needle).lut_count()
+    if block == FULL:
+        return full_matcher_circuit(needle).lut_count()
+    return substring_matcher_circuit(needle, block).lut_count()
+
+
+def string_table(view, needles, blocks=(1, 2, 3, 4)):
+    """Rows of a Table I/II/III-style comparison."""
+    headers = ["search string", "DFA FPR", "DFA LUTs",
+               "full FPR", "full LUTs"]
+    for block in blocks:
+        headers += [f"B={block} FPR", f"B={block} LUTs"]
+    rows = []
+    for needle in needles:
+        row = [needle]
+        for technique in (DFA_TECHNIQUE, FULL):
+            fpr = string_matcher_fpr(view, needle, technique)
+            row += [f"{fpr:.3f}", string_matcher_luts(needle, technique)]
+        for block in blocks:
+            usable = block <= len(needle)
+            if usable:
+                fpr = string_matcher_fpr(view, needle, block)
+                row += [f"{fpr:.3f}", string_matcher_luts(needle, block)]
+            else:
+                row += ["-", "-"]
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+# -- Pareto tables (Tables V-VII) --------------------------------------------
+
+def pareto_table(space, epsilon=0.004, exact_luts=True, max_rows=None):
+    points = space.explore()
+    front = space.pareto(points, epsilon=epsilon, exact_luts=exact_luts)
+    if max_rows is not None:
+        front = front[:max_rows]
+    rows = [
+        [point.expr.notation(), f"{point.fpr:.3f}", point.luts]
+        for point in front
+    ]
+    table = render_table(
+        ["Raw-filter configuration", "FPR", "LUTs"], rows
+    )
+    return table, front

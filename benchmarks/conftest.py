@@ -1,0 +1,13 @@
+"""Benchmark-suite fixtures."""
+
+import os
+
+import pytest
+
+from .common import RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

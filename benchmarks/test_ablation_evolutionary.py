@@ -1,0 +1,67 @@
+"""Ablation (paper §V future work): evolutionary DSE vs brute force.
+
+"Since this [brute force] is too time-consuming for an automatic
+generation of RFs, meta heuristics such as evolutionary algorithms can
+be used in the future."
+
+We run the NSGA-II-style explorer on QS1 and compare its front against
+the exhaustive one: evaluations used, and how close the GA front's
+hypervolume comes to the brute-force front.
+"""
+
+from repro.core.design_space import DesignSpace
+from repro.core.evolutionary import evolve
+from repro.data import QS1
+from repro.eval.pareto import DesignPoint, pareto_front
+from repro.eval.report import render_table
+
+from .common import dataset, write_result
+
+
+def hypervolume(points, ref_fpr=1.0, ref_luts=500):
+    """2-D hypervolume against a fixed reference (bigger = better)."""
+    front = pareto_front(
+        [DesignPoint(None, p.fpr, p.luts) for p in points]
+    )
+    total = 0.0
+    previous_fpr = ref_fpr
+    for point in sorted(front, key=lambda p: p.luts):
+        if point.luts >= ref_luts or point.fpr >= previous_fpr:
+            continue
+        total += (previous_fpr - point.fpr) * (ref_luts - point.luts)
+        previous_fpr = point.fpr
+    return total
+
+
+def test_ablation_evolutionary(benchmark):
+    space = DesignSpace(QS1, dataset("smartcity"))
+    space._prepare()
+
+    brute = space.explore()
+    brute_hv = hypervolume(brute)
+
+    result = benchmark.pedantic(
+        lambda: evolve(space, population_size=32, generations=25, seed=11),
+        rounds=1,
+        iterations=1,
+    )
+    ga_hv = hypervolume(result.front)
+
+    rows = [
+        ["brute-force evaluations", space.num_configurations()],
+        ["GA evaluations", result.evaluations],
+        ["evaluation ratio",
+         f"{result.evaluations / space.num_configurations():.3%}"],
+        ["brute-force hypervolume", f"{brute_hv:.1f}"],
+        ["GA hypervolume", f"{ga_hv:.1f}"],
+        ["hypervolume ratio", f"{ga_hv / brute_hv:.3f}"],
+        ["GA best FPR", f"{min(p.fpr for p in result.front):.3f}"],
+    ]
+    table = render_table(
+        ["metric", "value"], rows,
+        title="Ablation: evolutionary DSE vs brute force (QS1)",
+    )
+    write_result("ablation_evolutionary", table)
+
+    assert result.evaluations < space.num_configurations() / 10
+    assert ga_hv > 0.85 * brute_hv

@@ -1,0 +1,119 @@
+"""Ablation (paper §V future work): omitting substrings from the search.
+
+"This can be done, for example, by omitting substrings in the string
+search ... potentially allowing further resource savings without a large
+increase in false-positives."
+
+Omitting comparators breaks the consecutive-run counting scheme, so the
+sound thinned variant switches to *co-occurrence* semantics: keep every
+k-th B-gram and require each kept gram to appear somewhere in the record
+(one sticky flag per kept gram, AND at record end).  A true needle
+occurrence contains every gram, so no false negative is possible; fewer
+comparators cost fewer LUTs at some FPR penalty.
+"""
+
+import numpy as np
+
+from repro.core.string_match import substrings
+from repro.errors import ReproError
+from repro.eval.metrics import FilterMetrics
+from repro.eval.report import render_table
+from repro.hw.rtl import Circuit
+
+from .common import dataset_view, exact_presence_truth, write_result
+
+
+class ThinnedSubstringMatcher:
+    """s_B matcher that keeps every ``stride``-th B-gram and requires all
+    kept grams to co-occur in the record (sound by construction)."""
+
+    def __init__(self, needle, block, stride):
+        self.needle = needle.encode() if isinstance(needle, str) else needle
+        self.block = block
+        grams = substrings(self.needle, block)
+        self.kept = sorted(set(grams[::stride]))
+        if not self.kept:
+            raise ReproError("cannot omit every substring")
+
+    def _gram_hits(self, view):
+        arr = view.stream
+        n = arr.shape[0]
+        shifted = [arr]
+        for age in range(1, self.block):
+            lagged = np.zeros(n, dtype=arr.dtype)
+            lagged[age:] = arr[:-age]
+            shifted.append(lagged)
+        for gram in self.kept:
+            gram_hit = np.ones(n, dtype=bool)
+            for age, expected in enumerate(reversed(gram)):
+                gram_hit &= shifted[age] == expected
+            yield gram_hit
+
+    def record_match_array(self, view):
+        result = np.ones(view.num_records, dtype=bool)
+        for gram_hit in self._gram_hits(view):
+            result &= np.logical_or.reduceat(gram_hit, view.starts)
+        return result
+
+    def lut_count(self):
+        circuit = Circuit("thinned")
+        byte = circuit.add_input_vector("byte", 8)
+        record_reset = circuit.add_input("record_reset")
+        aig = circuit.aig
+        window = [byte]
+        previous = byte
+        for age in range(1, self.block):
+            stage = circuit.add_register_vector(f"buf{age}", 8)
+            circuit.set_next_vector(stage, previous)
+            window.append(stage)
+            previous = stage
+        flags = []
+        for index, gram in enumerate(self.kept):
+            terms = [
+                window[age].eq_const(expected)
+                for age, expected in enumerate(reversed(gram))
+            ]
+            hit = aig.and_reduce(terms)
+            flags.append(circuit.sticky(f"g{index}", hit, record_reset))
+        circuit.add_output("match", aig.and_reduce(flags))
+        return circuit.lut_count()
+
+
+def test_ablation_substring_omission(benchmark):
+    view = dataset_view("twitter")
+    needle = "favourites_count"
+    truth = exact_presence_truth(view, needle)
+
+    rows = []
+    fprs = []
+    for stride in (1, 2, 3, 4):
+        matcher = ThinnedSubstringMatcher(needle, 2, stride)
+        accepted = matcher.record_match_array(view)
+        metrics = FilterMetrics(accepted, truth)
+        assert metrics.fn == 0  # soundness preserved by construction
+        fprs.append(metrics.fpr)
+        rows.append(
+            [
+                stride,
+                len(matcher.kept),
+                f"{metrics.fpr:.3f}",
+                matcher.lut_count(),
+            ]
+        )
+
+    matcher = ThinnedSubstringMatcher(needle, 2, 2)
+    benchmark(lambda: matcher.record_match_array(view))
+
+    table = render_table(
+        ["keep every k-th gram", "comparators", "FPR", "LUTs"],
+        rows,
+        title=f"Ablation: substring omission for s2({needle!r})",
+    )
+    write_result("ablation_substring_omission", table)
+
+    full_luts = rows[0][3]
+    thinned_luts = rows[-1][3]
+    assert thinned_luts < full_luts  # omission saves resources
+    # FPR grows monotonically-ish but stays small on this long needle
+    assert fprs[-1] <= 0.2
+    assert fprs[0] <= fprs[-1] + 1e-9

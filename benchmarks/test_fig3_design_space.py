@@ -1,0 +1,71 @@
+"""Fig. 3: design-space scatter (FPR vs total LUTs) for QS0, QS1, QT.
+
+The paper plots every evaluated configuration, coloured by the number of
+filtered attributes.  We regenerate the full spaces (8^5 - 1 = 32,767
+configurations per query), render ASCII scatters with digit glyphs for
+the attribute count, and benchmark the phase-2 evaluation rate that makes
+brute force feasible.
+"""
+
+import pytest
+
+from repro.core.design_space import DesignSpace
+from repro.data import ALL_QUERIES
+from repro.eval.report import render_scatter
+
+from .common import dataset, write_result
+
+
+@pytest.fixture(scope="module")
+def spaces():
+    built = {}
+    for name, query in ALL_QUERIES.items():
+        space = DesignSpace(query, dataset(query.dataset_name))
+        space._prepare()
+        built[name] = space
+    return built
+
+
+@pytest.mark.parametrize("query_name", ["QS0", "QS1", "QT"])
+def test_fig3_scatter(query_name, spaces, benchmark):
+    space = spaces[query_name]
+
+    choices = list(space.iter_choices())
+    sample = choices[:: max(1, len(choices) // 500)]
+
+    def evaluate_sample():
+        return [space.evaluate_choice(choice) for choice in sample]
+
+    evaluated = benchmark(evaluate_sample)
+
+    points = space.explore()
+    scatter = render_scatter(
+        [
+            (point.fpr, point.luts, str(point.num_attributes))
+            for point in points[:: max(1, len(points) // 1200)]
+        ],
+        title=(
+            f"Fig. 3 ({query_name}): FPR vs total LUTs, glyph = "
+            "number of filtered attributes"
+        ),
+    )
+    write_result(f"fig3_scatter_{query_name.lower()}", scatter)
+
+    fprs = [p.fpr for p in points]
+    luts = [p.luts for p in points]
+    # the paper's qualitative features of each panel:
+    assert len(points) == 8**5 - 1
+    assert min(fprs) < 0.05            # some configuration is near-exact
+    assert max(fprs) > 0.9             # and some filters nothing
+    assert max(luts) > 5 * min(
+        l for l, f in zip(luts, fprs) if f < 1.0
+    )
+    # more attributes never hurt FPR on conjunctive queries: best FPR per
+    # attribute count is monotone non-increasing
+    best_by_count = {}
+    for point in points:
+        best = best_by_count.get(point.num_attributes, 1.0)
+        best_by_count[point.num_attributes] = min(best, point.fpr)
+    counts = sorted(best_by_count)
+    for earlier, later in zip(counts, counts[1:]):
+        assert best_by_count[later] <= best_by_count[earlier] + 1e-9

@@ -1,0 +1,40 @@
+"""Table III: string-matching techniques on the (diverse) Twitter dataset.
+
+Paper shape: short needles are badly approximated by B=1 on natural text
+(``user`` → 1.000, ``lang`` → 0.181, ``location`` → 0.049) while long
+snake_case needles stay near 0 even at B=1; B=2 repairs everything.
+"""
+
+from repro.data import TABLE3_STRINGS
+
+from .common import (
+    dataset_view,
+    string_matcher_fpr,
+    string_table,
+    write_result,
+)
+
+
+def test_table3_reproduction(benchmark):
+    view = dataset_view("twitter")
+
+    fpr_user_b1 = benchmark(lambda: string_matcher_fpr(view, "user", 1))
+
+    table = string_table(view, TABLE3_STRINGS)
+    write_result("table3_twitter_strings", table)
+
+    fpr_lang = string_matcher_fpr(view, "lang", 1)
+    fpr_location = string_matcher_fpr(view, "location", 1)
+    fpr_created = string_matcher_fpr(view, "created_at", 1)
+    fpr_favourites = string_matcher_fpr(view, "favourites_count", 1)
+
+    # ordering of B=1 FPRs follows the paper: user >> lang > location >>
+    # created_at ~ favourites_count ~ 0
+    assert fpr_user_b1 > 0.8
+    assert 0.02 < fpr_lang < 0.5
+    assert 0.005 < fpr_location < fpr_lang
+    assert fpr_created < 0.02
+    assert fpr_favourites < 0.02
+    # B=2 repairs every needle
+    for needle in TABLE3_STRINGS:
+        assert string_matcher_fpr(view, needle, 2) == 0.0

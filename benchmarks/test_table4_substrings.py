@@ -1,0 +1,41 @@
+"""Table IV: B-gram decomposition of the "temperature" search string."""
+
+from repro.core.string_match import substrings, unique_substrings
+from repro.eval.report import render_table
+
+from .common import write_result
+
+
+def test_table4_reproduction(benchmark):
+    grams = benchmark(lambda: substrings("temperature", 2))
+
+    rows = []
+    for block in (1, 2, 3, len("temperature")):
+        label = str(block) if block < 11 else "n"
+        all_grams = substrings("temperature", block)
+        distinct = unique_substrings("temperature", block)
+        rows.append(
+            [
+                label,
+                ", ".join(g.decode() for g in distinct),
+                len(all_grams),
+                len(distinct),
+            ]
+        )
+    table = render_table(
+        ["B", "sub-strings (distinct)", "total", "distinct"],
+        rows,
+        title="Table IV: substrings of 'temperature' per block length",
+    )
+    write_result("table4_substrings", table)
+
+    # paper row B=2: te em mp pe er ra at tu ur re (10 grams, no dups)
+    assert grams == [
+        b"te", b"em", b"mp", b"pe", b"er", b"ra", b"at", b"tu", b"ur",
+        b"re",
+    ]
+    # paper row B=1: duplicates (e, t, r, e) collapse from 11 to 7
+    assert len(substrings("temperature", 1)) == 11
+    assert len(unique_substrings("temperature", 1)) == 7
+    # B=n: the needle itself
+    assert substrings("temperature", 11) == [b"temperature"]

@@ -1,0 +1,47 @@
+"""Table V: Pareto-optimal raw-filter configurations for QS0.
+
+Paper shape (12 rows): from a bare ``v(12 <= i <= 49)`` at FPR 0.853 / 18
+LUTs down to the five-group configuration at FPR 0.000 / 307 LUTs;
+structural ``{ s1(attr) & v(range) }`` groups dominate the front, and the
+cheapest zero-FPR configuration needs (almost) all five attributes.
+"""
+
+from repro.core.design_space import DesignSpace
+from repro.data import QS0
+
+from .common import dataset, pareto_table, write_result
+
+PAPER_FRONT = [
+    ("v(12 <= i <= 49)", 0.853, 18),
+    ('{ s1("airquality_raw") & v(12 <= i <= 49) }', 0.770, 47),
+    ('{ s1("humidity") & v(20.3 <= f <= 69.1) }', 0.562, 95),
+    ("two groups", 0.349, 123),
+    ("five groups", 0.000, 307),
+]
+
+
+def test_table5_reproduction(benchmark):
+    space = DesignSpace(QS0, dataset("smartcity"))
+    space._prepare()
+
+    choice = next(iter(space.iter_choices()))
+    benchmark(lambda: space.evaluate_choice(choice))
+
+    table, front = pareto_table(space, epsilon=0.004)
+    write_result("table5_pareto_qs0", table)
+
+    fprs = [point.fpr for point in front]
+    luts = [point.luts for point in front]
+    # monotone trade-off curve spanning the paper's range
+    assert fprs[0] > 0.7                      # cheap end: high FPR
+    assert min(fprs) < 0.02                   # expensive end: ~exact
+    assert luts[0] < 100
+    assert max(luts) > 250
+    # the front's members use structural groups (paper's rows all do)
+    notations = [point.expr.notation() for point in front]
+    assert any("{" in text for text in notations)
+    # value-only configurations appear at the cheap end, as in the paper
+    assert notations[0].startswith("v(")
+    # the near-zero-FPR configuration involves >= 4 attributes
+    best = min(front, key=lambda p: (p.fpr, p.luts))
+    assert best.meta["num_attributes"] >= 4

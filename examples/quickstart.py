@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Quickstart: build a raw filter, run it on records, count LUTs.
+
+This walks the paper's running example (Listing 1 + Listing 2): a SenML
+record stream and the query
+
+    Q0 := $.e[?(@.n=="temperature" & @.v >= 0.7 & @.v <= 35.1)]
+
+It shows the three levels the library offers for the same filter:
+behavioural evaluation, vectorised dataset evaluation, and gate-level
+synthesis/simulation.
+"""
+
+from repro import core
+from repro.data import Dataset
+from repro.eval import DatasetView, FilterMetrics, evaluate_expression
+from repro.hw import CycleSimulator
+from repro.hw.circuits import build_raw_filter_circuit
+from repro.jsonpath import compile_path, loads
+
+# the paper's Listing 1 (abbreviated)
+RECORDS = [
+    b'{"e":[{"v":"35.2","u":"far","n":"temperature"},'
+    b'{"v":"12","u":"per","n":"humidity"},'
+    b'{"v":"713","u":"per","n":"light"}],"bt":1422748800000}',
+    b'{"e":[{"v":"21.4","u":"far","n":"temperature"},'
+    b'{"v":"55","u":"per","n":"humidity"}],"bt":1422748800300}',
+    b'{"e":[{"v":"-3.0","u":"far","n":"temperature"}],"bt":1422748800600}',
+]
+
+
+def main():
+    # -- 1. the query (Listing 2), evaluated exactly via JSONPath --------
+    query = compile_path(
+        '$.e[?(@.n=="temperature" & @.v >= 0.7 & @.v <= 35.1)]'
+    )
+    truth = [query.matches(loads(record)) for record in RECORDS]
+    print("oracle (exact parse + JSONPath):", truth)
+
+    # -- 2. raw filters in the paper's notation ---------------------------
+    naive = core.And([core.s("temperature", 1), core.v("0.7", "35.1")])
+    structural = core.group(
+        core.s("temperature", 1), core.v("0.7", "35.1")
+    )
+    print("\nnaive  RF:", naive.notation())
+    print("struct RF:", structural.notation())
+
+    for name, raw_filter in (("naive", naive), ("struct", structural)):
+        accepted = [
+            core.evaluate_record(raw_filter, record) for record in RECORDS
+        ]
+        print(f"{name} accepts: {accepted}")
+    # record 0 is the paper's false-positive example: "temperature"
+    # appears and "12" lies in [0.7, 35.1], but the temperature itself
+    # is 35.2 — only the structural filter drops it.
+
+    # -- 3. vectorised evaluation + metrics ------------------------------
+    dataset = Dataset("listing1", RECORDS)
+    view = DatasetView(dataset)
+    accepted = evaluate_expression(view, structural)
+    metrics = FilterMetrics(accepted, truth)
+    print("\nstructural filter metrics:", metrics)
+    assert not metrics.has_false_negatives
+
+    # -- 4. hardware: synthesise and simulate the same filter -------------
+    circuit = build_raw_filter_circuit(structural)
+    stats = circuit.stats()
+    print(
+        f"\nsynthesised: {stats['luts']} LUTs, {stats['ffs']} FFs, "
+        f"depth {stats['depth']}"
+    )
+    simulator = CycleSimulator(circuit)
+    for record, expected in zip(RECORDS, accepted):
+        simulator.reset()
+        trace = simulator.run_stream(
+            record + b"\n", extra_inputs={"record_reset": 0}
+        )
+        assert trace["accept"][-1] == expected
+    print("gate-level simulation agrees with the behavioural model.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — Raw Filtering of JSON Data on FPGAs (DATE 2022), reproduced.
+
+A complete, self-contained reimplementation of the paper's system:
+
+* raw-filter primitives (string matchers, number-range DFAs, structural
+  awareness) with behavioural *and* gate-level models (``repro.core``,
+  ``repro.hw``);
+* a regex engine, an AIG + LUT technology mapper, a strict JSON parser
+  and a JSONPath evaluator as substrates (``repro.regex``, ``repro.hw``,
+  ``repro.jsonpath``);
+* RiotBench-style synthetic workloads and the Table VIII queries
+  (``repro.data``);
+* design-space exploration with Pareto reporting, an evolutionary
+  explorer and sampled-FPR estimation (``repro.core.design_space``,
+  ``.evolutionary``, ``.sampling``);
+* the Fig. 4 SoC throughput simulation (``repro.system``) and the
+  Sparser CPU baseline (``repro.baselines``).
+
+Quickstart::
+
+    from repro import core, data
+    from repro.eval import DatasetView, evaluate_expression, FilterMetrics
+
+    rf = core.group(core.s("temperature", 1), core.v("0.7", "35.1"))
+    dataset = data.load_dataset("smartcity", 1000)
+    accepted = evaluate_expression(DatasetView(dataset), rf)
+    truth = data.QS0.truth_array(dataset)
+    print(FilterMetrics(accepted, truth))
+"""
+
+from . import baselines, core, data, eval, hw, jsonpath, regex, system
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "data",
+    "eval",
+    "hw",
+    "jsonpath",
+    "regex",
+    "system",
+    "ReproError",
+    "__version__",
+]

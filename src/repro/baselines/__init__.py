@@ -1,0 +1,20 @@
+"""Comparator implementations: Sparser-style CPU raw filter, exact oracle."""
+
+from .exact import ExactFilter, filtered_pipeline_stats
+from .sparser import (
+    Cascade,
+    KeyValueProbe,
+    SubstringProbe,
+    candidate_probes,
+    optimize_cascade,
+)
+
+__all__ = [
+    "ExactFilter",
+    "filtered_pipeline_stats",
+    "Cascade",
+    "KeyValueProbe",
+    "SubstringProbe",
+    "candidate_probes",
+    "optimize_cascade",
+]

@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Four subcommands cover the library's main workflows:
+
+* ``generate`` — write one of the synthetic benchmark datasets as NDJSON;
+* ``explore``  — run design-space exploration for a RiotBench query and
+  print the Pareto front (Tables V-VII style);
+* ``synth``    — synthesise a raw-filter expression and report LUT/FF
+  costs (expression given in a compact prefix syntax, see below);
+* ``filter``   — apply a raw filter to an NDJSON stream, emitting only
+  accepted records (the software twin of one FPGA lane).
+
+Filter expressions use a small s-expression-free syntax::
+
+    s:1:temperature              sB matcher  (B may be 1..N, N, or dfa)
+    v:float:0.7:35.1             value range (kind int|float; '-' = open)
+    and(...) / or(...)           record-level combination
+    group(...)                   structural scope combination
+
+Example::
+
+    python -m repro.cli synth \
+        "and(group(s:1:temperature,v:float:0.7:35.1),v:int:12:49)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import core
+from .core.design_space import DesignSpace
+from .data import ALL_QUERIES, load_dataset
+from .errors import QueryError, ReproError
+from .eval.report import render_table
+
+
+# ---------------------------------------------------------------------------
+# expression parsing
+# ---------------------------------------------------------------------------
+
+def parse_filter_expression(text):
+    """Parse the CLI's compact raw-filter syntax into an expression tree."""
+    parser = _ExprParser(text)
+    expr = parser.parse()
+    parser.expect_end()
+    return expr
+
+
+class _ExprParser:
+    def __init__(self, text):
+        self.text = text.strip()
+        self.pos = 0
+
+    def error(self, message):
+        raise QueryError(f"{message} (at {self.pos} in {self.text!r})")
+
+    def peek(self):
+        if self.pos < len(self.text):
+            return self.text[self.pos]
+        return None
+
+    def expect_end(self):
+        if self.pos != len(self.text):
+            self.error("trailing input")
+
+    def parse(self):
+        for keyword, builder in (
+            ("and(", lambda kids: core.And(kids)),
+            ("or(", lambda kids: core.Or(kids)),
+            ("group(", lambda kids: core.Group(kids)),
+            ("kvgroup(", lambda kids: core.Group(kids, comma_scoped=True)),
+        ):
+            if self.text.startswith(keyword, self.pos):
+                self.pos += len(keyword)
+                children = [self.parse()]
+                while self.peek() == ",":
+                    self.pos += 1
+                    children.append(self.parse())
+                if self.peek() != ")":
+                    self.error("expected ')'")
+                self.pos += 1
+                return builder(children)
+        return self._leaf()
+
+    def _leaf(self):
+        start = self.pos
+        depth = 0
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in ",)" and depth == 0:
+                break
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+            self.pos += 1
+        token = self.text[start : self.pos]
+        if not token:
+            self.error("expected a primitive")
+        return _parse_leaf(token, self)
+
+
+def _parse_leaf(token, parser):
+    fields = token.split(":")
+    kind = fields[0]
+    if kind == "s":
+        if len(fields) != 3:
+            parser.error("string primitive is s:<block>:<needle>")
+        block_text, needle = fields[1], fields[2]
+        if block_text == "N":
+            return core.full(needle)
+        if block_text == "dfa":
+            return core.dfa(needle)
+        return core.s(needle, int(block_text))
+    if kind == "v":
+        if len(fields) != 4:
+            parser.error("value primitive is v:<int|float>:<lo>:<hi>")
+        number_kind = fields[1]
+        lo = None if fields[2] == "-" else fields[2]
+        hi = None if fields[3] == "-" else fields[3]
+        if number_kind == "int":
+            lo = int(lo) if lo is not None else None
+            hi = int(hi) if hi is not None else None
+        return core.v(lo, hi, kind=number_kind)
+    if kind == "re":
+        if len(fields) < 2:
+            parser.error("regex primitive is re:<pattern>")
+        return core.RegexPredicate(":".join(fields[1:]))
+    parser.error(f"unknown primitive kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_generate(args):
+    dataset = load_dataset(args.dataset, args.records, seed=args.seed)
+    out = sys.stdout.buffer if args.output == "-" else open(
+        args.output, "wb"
+    )
+    try:
+        for record in dataset:
+            out.write(record + b"\n")
+    finally:
+        if out is not sys.stdout.buffer:
+            out.close()
+    print(
+        f"wrote {len(dataset)} records ({dataset.total_bytes} bytes) "
+        f"of {args.dataset}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_explore(args):
+    query = ALL_QUERIES[args.query]
+    dataset = load_dataset(query.dataset_name, args.records)
+    space = DesignSpace(query, dataset)
+    points = space.explore()
+    front = space.pareto(points, epsilon=args.epsilon,
+                         exact_luts=not args.fast)
+    rows = [
+        [point.expr.notation(), f"{point.fpr:.3f}", point.luts]
+        for point in front
+    ]
+    print(render_table(
+        ["Raw-filter configuration", "FPR", "LUTs"],
+        rows,
+        title=(
+            f"Pareto front for {query.name} over "
+            f"{space.num_configurations()} configurations"
+        ),
+    ))
+    return 0
+
+
+def cmd_synth(args):
+    expr = parse_filter_expression(args.expression)
+    from .hw.circuits import build_raw_filter_circuit
+
+    circuit = build_raw_filter_circuit(expr)
+    stats = circuit.stats()
+    print(f"expression : {expr.notation()}")
+    print(f"LUTs       : {stats['luts']}")
+    print(f"flip-flops : {stats['ffs']}")
+    print(f"logic depth: {stats['depth']}")
+    print(f"AIG nodes  : {stats['aig_ands']}")
+    return 0
+
+
+def cmd_filter(args):
+    expr = parse_filter_expression(args.expression)
+    source = sys.stdin.buffer if args.input == "-" else open(
+        args.input, "rb"
+    )
+    accepted = 0
+    total = 0
+    try:
+        for line in source:
+            record = line.rstrip(b"\n")
+            if not record:
+                continue
+            total += 1
+            if core.evaluate_record(expr, record):
+                accepted += 1
+                sys.stdout.buffer.write(record + b"\n")
+    finally:
+        if source is not sys.stdin.buffer:
+            source.close()
+    print(
+        f"accepted {accepted}/{total} records "
+        f"({expr.notation()})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def build_arg_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Raw filtering of JSON data on FPGAs (DATE 2022) — "
+                    "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate",
+                              help="emit a synthetic dataset as NDJSON")
+    generate.add_argument("dataset",
+                          choices=["smartcity", "taxi", "twitter"])
+    generate.add_argument("--records", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--output", "-o", default="-")
+    generate.set_defaults(func=cmd_generate)
+
+    explore = sub.add_parser("explore",
+                             help="design-space exploration for a query")
+    explore.add_argument("query", choices=sorted(ALL_QUERIES))
+    explore.add_argument("--records", type=int, default=2000)
+    explore.add_argument("--epsilon", type=float, default=0.004)
+    explore.add_argument("--fast", action="store_true",
+                         help="additive LUT estimates (skip exact synth)")
+    explore.set_defaults(func=cmd_explore)
+
+    synth = sub.add_parser("synth",
+                           help="synthesise a filter expression")
+    synth.add_argument("expression")
+    synth.set_defaults(func=cmd_synth)
+
+    filter_cmd = sub.add_parser(
+        "filter", help="apply a raw filter to an NDJSON stream"
+    )
+    filter_cmd.add_argument("expression")
+    filter_cmd.add_argument("--input", "-i", default="-")
+    filter_cmd.set_defaults(func=cmd_filter)
+    return parser
+
+
+def main(argv=None):
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's contribution: raw-filter primitives, composition, DSE.
+
+Public entry points:
+
+* primitives & composition — :func:`s`, :func:`full`, :func:`dfa`,
+  :func:`v`, :func:`v_int`, :func:`group`, :class:`And`, :class:`Or`
+* query compilation — :mod:`repro.core.compiler`
+* design-space exploration — :class:`repro.core.design_space.DesignSpace`
+* costs — :func:`repro.core.cost.exact_luts` /
+  :func:`repro.core.cost.estimate_luts`
+"""
+
+from .composition import (
+    And,
+    Group,
+    NumberPredicate,
+    Or,
+    Primitive,
+    RawFilter,
+    RegexPredicate,
+    StringPredicate,
+    dfa,
+    evaluate_record,
+    full,
+    group,
+    s,
+    v,
+    v_int,
+)
+from .cost import estimate_luts, exact_luts
+from .design_space import DesignSpace
+from .jsonpath_compiler import compile_jsonpath
+from .number_filter import NumberRangeFilter
+from .string_match import DFA_TECHNIQUE, FULL, substrings, unique_substrings
+
+__all__ = [
+    "And",
+    "Group",
+    "NumberPredicate",
+    "Or",
+    "Primitive",
+    "RawFilter",
+    "RegexPredicate",
+    "StringPredicate",
+    "dfa",
+    "evaluate_record",
+    "full",
+    "group",
+    "s",
+    "v",
+    "v_int",
+    "estimate_luts",
+    "exact_luts",
+    "DesignSpace",
+    "compile_jsonpath",
+    "NumberRangeFilter",
+    "DFA_TECHNIQUE",
+    "FULL",
+    "substrings",
+    "unique_substrings",
+]

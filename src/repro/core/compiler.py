@@ -1,0 +1,167 @@
+"""Query-to-raw-filter compilation (the design flow of §III-D).
+
+Step i — extract search strings and value ranges from the query;
+step ii — select candidate primitives and parameters (block lengths B);
+step iii — determine the legal combinations:
+
+* a condition's primitives may be combined structurally (``{s & v}``) or
+  not (``s & v``);
+* inside the query's AND, any subset of conditions may be *omitted*
+  entirely (raw filters only need to over-approximate), as long as at
+  least one primitive remains;
+* OR-connected conditions could never be dropped — the RiotBench queries
+  are pure conjunctions, so that rule is enforced by construction here.
+
+Step iv (design-space exploration) lives in
+:mod:`repro.core.design_space`.
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryError
+from . import composition as comp
+from .string_match import FULL
+
+#: the paper's recommended search space for block lengths (§III-A):
+#: B=1 (cheapest), B=2 (fixes short-string collisions), B=N (exact)
+DEFAULT_BLOCKS = (1, 2, FULL)
+
+
+class ConditionOption:
+    """One way to (partially) realise a query condition as raw filters."""
+
+    __slots__ = ("label", "atoms", "uses_string", "uses_value", "block")
+
+    def __init__(self, label, atoms, uses_string, uses_value, block=None):
+        self.label = label
+        self.atoms = tuple(atoms)
+        self.uses_string = uses_string
+        self.uses_value = uses_value
+        self.block = block
+
+    @property
+    def is_omit(self):
+        return not self.atoms
+
+    @property
+    def attribute_count(self):
+        return 0 if self.is_omit else 1
+
+    def notation(self):
+        if self.is_omit:
+            return "-"
+        return " & ".join(atom.notation() for atom in self.atoms)
+
+    def __repr__(self):
+        return f"ConditionOption({self.label})"
+
+
+def string_primitive(condition, block):
+    """The sB / sN matcher for a condition's attribute name."""
+    return comp.StringPredicate(condition.attribute, block)
+
+
+def value_primitive(condition):
+    """The v(l <= x <= u) matcher for a condition's range."""
+    return comp.NumberPredicate(
+        condition.lo, condition.hi, kind=condition.kind
+    )
+
+
+def condition_options(condition, blocks=DEFAULT_BLOCKS,
+                      include_omit=True, include_string_only=False,
+                      include_value_only=True,
+                      include_structural=True,
+                      include_nonstructural=True):
+    """All candidate realisations of one range condition.
+
+    For each block length B: the bare string matcher, the conjunction
+    ``sB & v`` (record-level), and the structural group ``{sB & v}``.
+    Plus the bare value filter and full omission.
+    """
+    options = []
+    if include_omit:
+        options.append(ConditionOption("omit", [], False, False))
+    if include_value_only:
+        options.append(
+            ConditionOption(
+                "value", [value_primitive(condition)], False, True
+            )
+        )
+    for block in blocks:
+        string_atom = string_primitive(condition, block)
+        if include_string_only:
+            options.append(
+                ConditionOption(
+                    f"string[B={block}]", [string_atom], True, False,
+                    block=block,
+                )
+            )
+        if include_nonstructural:
+            options.append(
+                ConditionOption(
+                    f"string+value[B={block}]",
+                    [string_atom, value_primitive(condition)],
+                    True,
+                    True,
+                    block=block,
+                )
+            )
+        if include_structural:
+            options.append(
+                ConditionOption(
+                    f"group[B={block}]",
+                    [comp.Group([string_atom, value_primitive(condition)])],
+                    True,
+                    True,
+                    block=block,
+                )
+            )
+    return options
+
+
+def config_expression(options):
+    """Compose selected per-condition options into one raw filter."""
+    atoms = []
+    for option in options:
+        atoms.extend(option.atoms)
+    if not atoms:
+        raise QueryError(
+            "a raw filter must keep at least one primitive (§III-D iii.b)"
+        )
+    if len(atoms) == 1:
+        return atoms[0]
+    return comp.And(atoms)
+
+
+def paper_pareto_expression(query, spec):
+    """Build a named configuration like the rows of Tables V-VII.
+
+    ``spec`` is a list of entries, one per kept attribute:
+    ``("group", attribute, block)``, ``("pair", attribute, block)``,
+    ``("value", attribute)`` or ``("string", attribute, block)``.
+    """
+    by_attr = {c.attribute: c for c in query.conditions}
+    atoms = []
+    for entry in spec:
+        kind = entry[0]
+        condition = by_attr[entry[1]]
+        if kind == "value":
+            atoms.append(value_primitive(condition))
+        elif kind == "string":
+            atoms.append(string_primitive(condition, entry[2]))
+        elif kind == "pair":
+            atoms.append(string_primitive(condition, entry[2]))
+            atoms.append(value_primitive(condition))
+        elif kind == "group":
+            atoms.append(
+                comp.Group(
+                    [
+                        string_primitive(condition, entry[2]),
+                        value_primitive(condition),
+                    ]
+                )
+            )
+        else:
+            raise QueryError(f"unknown spec entry {entry!r}")
+    return atoms[0] if len(atoms) == 1 else comp.And(atoms)

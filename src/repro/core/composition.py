@@ -1,0 +1,349 @@
+"""Raw-filter composition (paper §III, notation of Tables V–VII).
+
+A raw filter is an expression tree over primitives:
+
+* :class:`StringPredicate` — ``sB("needle")`` with ``B`` an int, ``"N"``
+  (full-length comparison, technique ii) or ``"dfa"`` (technique i);
+* :class:`NumberPredicate` — ``v(l <= i <= u)`` / ``v(l <= f <= u)``;
+* :class:`RegexPredicate` — an arbitrary-regex filter (e.g. date formats,
+  which the paper notes the same DFA machinery supports);
+* :class:`Group` — ``{ RF1 & RF2 }``: children must fire in the same
+  structural scope (§III-C);
+* :class:`And` / :class:`Or` — record-level conjunction / disjunction.
+
+The tree renders to the paper's notation (:meth:`RawFilter.notation`),
+evaluates records behaviourally (:func:`evaluate_record`), and lowers to
+hardware via :func:`repro.hw.circuits.build_raw_filter_circuit`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import QueryError
+from . import string_match
+from .number_filter import NumberRangeFilter
+from .structural import group_matches_record
+
+
+class RawFilter:
+    """Base class for raw-filter expression nodes."""
+
+    def notation(self):
+        """Render in the paper's notation (Tables V-VII)."""
+        raise NotImplementedError
+
+    def cache_key(self):
+        """A hashable identity used by the evaluation harness."""
+        raise NotImplementedError
+
+    def primitives(self):
+        """Iterate all primitive leaves in the tree."""
+        raise NotImplementedError
+
+    def atoms(self):
+        """Iterate the cacheable evaluation units (leaves and groups)."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}<{self.notation()}>"
+
+    def __eq__(self, other):
+        return (
+            type(self) is type(other) and self.cache_key() == other.cache_key()
+        )
+
+    def __hash__(self):
+        return hash(self.cache_key())
+
+
+class Primitive(RawFilter):
+    """A leaf filter with per-cycle fire semantics."""
+
+    def fire_array(self, arr):
+        """Per-cycle fire booleans over one newline-terminated record."""
+        raise NotImplementedError
+
+    def matches_record(self, data):
+        """Record-level accept for one record (bytes)."""
+        raise NotImplementedError
+
+    def primitives(self):
+        yield self
+
+    def atoms(self):
+        yield self
+
+
+class StringPredicate(Primitive):
+    """``sB("needle")`` — one of the three string-matching techniques."""
+
+    def __init__(self, needle, block=1):
+        self.needle = string_match.as_needle_bytes(needle)
+        if block not in (string_match.FULL, string_match.DFA_TECHNIQUE):
+            block = int(block)
+            if not 1 <= block <= len(self.needle):
+                raise QueryError(
+                    f"block {block} out of range for {self.needle!r}"
+                )
+        self.block = block
+
+    @property
+    def text(self):
+        return self.needle.decode("latin1")
+
+    def notation(self):
+        if self.block == string_match.FULL:
+            return f'sN("{self.text}")'
+        if self.block == string_match.DFA_TECHNIQUE:
+            return f'dfa("{self.text}")'
+        return f's{self.block}("{self.text}")'
+
+    def cache_key(self):
+        return ("string", self.needle, self.block)
+
+    def fire_array(self, arr):
+        return string_match.fire_array(arr, self.needle, self.block)
+
+    def matches_record(self, data):
+        return string_match.record_matches(data, self.needle, self.block)
+
+
+class NumberPredicate(Primitive):
+    """``v(l <= i <= u)`` or ``v(l <= f <= u)`` — a value-range filter."""
+
+    def __init__(self, lo, hi, kind="float", allow_exponent=True):
+        if lo is None and hi is None:
+            raise QueryError("number predicate needs at least one bound")
+        if kind not in ("int", "float"):
+            raise QueryError(f"unknown number kind {kind!r}")
+        self.lo = lo
+        self.hi = hi
+        self.kind = kind
+        self.allow_exponent = allow_exponent
+        self._filter = NumberRangeFilter(
+            lo, hi, kind=kind, allow_exponent=allow_exponent
+        )
+
+    @property
+    def dfa(self):
+        return self._filter.dfa
+
+    def notation(self):
+        symbol = "i" if self.kind == "int" else "f"
+        if self.lo is None:
+            return f"v({symbol} <= {self.hi})"
+        if self.hi is None:
+            return f"v({self.lo} <= {symbol})"
+        return f"v({self.lo} <= {symbol} <= {self.hi})"
+
+    def cache_key(self):
+        return (
+            "number",
+            str(self.lo),
+            str(self.hi),
+            self.kind,
+            self.allow_exponent,
+        )
+
+    def fire_array(self, arr):
+        fires = np.zeros(arr.shape[0], dtype=bool)
+        for position in self._filter.fire_positions(arr):
+            if position < arr.shape[0]:
+                fires[position] = True
+        return fires
+
+    def matches_record(self, data):
+        return self._filter.record_matches(data)
+
+
+class RegexPredicate(Primitive):
+    """An arbitrary-regex token filter (same framing as number filters).
+
+    The paper notes the DFA approach "can also be used for date formats or
+    any other filter which can be represented using regular expressions";
+    this node provides exactly that.  The regex is matched against whole
+    numeric tokens when ``token_mode`` is ``"number"`` or against the full
+    record when ``token_mode`` is ``"stream"`` (the pattern is implicitly
+    anchored as ``.*pattern.*`` in stream mode).
+    """
+
+    def __init__(self, pattern, token_mode="stream"):
+        from ..regex.ast import concat, lit, star
+        from ..regex.charclass import CharClass
+        from ..regex.dfa import DFA
+        from ..regex.parser import parse_regex
+
+        if token_mode not in ("stream", "number"):
+            raise QueryError(f"unknown token mode {token_mode!r}")
+        self.pattern = pattern
+        self.token_mode = token_mode
+        node = parse_regex(pattern)
+        if token_mode == "stream":
+            any_char = star(lit(CharClass.full()))
+            node = concat(any_char, node, any_char)
+        self.dfa = DFA.from_regex(node)
+
+    def notation(self):
+        return f"re({self.pattern})"
+
+    def cache_key(self):
+        return ("regex", self.pattern, self.token_mode)
+
+    def fire_array(self, arr):
+        if self.token_mode == "number":
+            from .number_filter import token_spans
+
+            fires = np.zeros(arr.shape[0], dtype=bool)
+            for start, end in token_spans(arr):
+                if self.dfa.accepts(arr[start:end].tobytes()):
+                    if end < arr.shape[0]:
+                        fires[end] = True
+            return fires
+        # stream mode: absorbing accept — fire from first acceptance on
+        fires = np.zeros(arr.shape[0], dtype=bool)
+        state = self.dfa.start
+        table = self.dfa.table
+        accepting = self.dfa.accepting
+        for index in range(arr.shape[0]):
+            state = table[state, arr[index]]
+            if accepting[state]:
+                fires[index:] = True
+                break
+        return fires
+
+    def matches_record(self, data):
+        data = bytes(data) + b"\n"
+        return bool(
+            self.fire_array(np.frombuffer(data, dtype=np.uint8)).any()
+        )
+
+
+class Group(RawFilter):
+    """``{ RF1 & RF2 }`` — children must fire in the same scope (§III-C)."""
+
+    def __init__(self, children, comma_scoped=False):
+        children = tuple(children)
+        if not children:
+            raise QueryError("structural group needs at least one child")
+        for child in children:
+            if not isinstance(child, Primitive):
+                raise QueryError(
+                    "structural groups combine primitives only; nest "
+                    "And/Or above groups instead"
+                )
+        self.children = children
+        self.comma_scoped = comma_scoped
+
+    def notation(self):
+        inner = " & ".join(child.notation() for child in self.children)
+        return "{ " + inner + " }"
+
+    def cache_key(self):
+        return (
+            "group",
+            tuple(child.cache_key() for child in self.children),
+            self.comma_scoped,
+        )
+
+    def primitives(self):
+        for child in self.children:
+            yield from child.primitives()
+
+    def atoms(self):
+        yield self
+
+    def matches_record(self, data):
+        data = bytes(data) + b"\n"
+        arr = np.frombuffer(data, dtype=np.uint8)
+        fire_arrays = [child.fire_array(arr) for child in self.children]
+        return group_matches_record(
+            arr, fire_arrays, comma_scoped=self.comma_scoped
+        )
+
+
+class _Combinator(RawFilter):
+    _symbol = "?"
+
+    def __init__(self, children):
+        children = tuple(children)
+        if not children:
+            raise QueryError(f"{type(self).__name__} needs children")
+        self.children = children
+
+    def notation(self):
+        parts = []
+        for child in self.children:
+            text = child.notation()
+            if isinstance(child, _Combinator):
+                text = f"({text})"
+            parts.append(text)
+        return f" {self._symbol} ".join(parts)
+
+    def cache_key(self):
+        return (
+            type(self).__name__,
+            tuple(child.cache_key() for child in self.children),
+        )
+
+    def primitives(self):
+        for child in self.children:
+            yield from child.primitives()
+
+    def atoms(self):
+        for child in self.children:
+            yield from child.atoms()
+
+
+class And(_Combinator):
+    """Record-level conjunction of raw filters."""
+
+    _symbol = "&"
+
+    def matches_record(self, data):
+        return all(child.matches_record(data) for child in self.children)
+
+
+class Or(_Combinator):
+    """Record-level disjunction of raw filters."""
+
+    _symbol = "|"
+
+    def matches_record(self, data):
+        return any(child.matches_record(data) for child in self.children)
+
+
+def evaluate_record(expr, data):
+    """Record-level accept of any raw-filter expression (reference path)."""
+    return bool(expr.matches_record(data))
+
+
+# -- convenience constructors (paper notation) ------------------------------
+
+def s(needle, block=1):
+    """``sB(needle)`` — substring matcher with block length B."""
+    return StringPredicate(needle, block)
+
+
+def full(needle):
+    """``sN(needle)`` — full-length comparison (technique ii)."""
+    return StringPredicate(needle, string_match.FULL)
+
+
+def dfa(needle):
+    """``dfa(needle)`` — DFA string matcher (technique i)."""
+    return StringPredicate(needle, string_match.DFA_TECHNIQUE)
+
+
+def v(lo, hi, kind="float", allow_exponent=True):
+    """``v(lo <= x <= hi)`` — number-range filter."""
+    return NumberPredicate(lo, hi, kind=kind, allow_exponent=allow_exponent)
+
+
+def v_int(lo, hi, **kwargs):
+    return NumberPredicate(lo, hi, kind="int", **kwargs)
+
+
+def group(*children, comma_scoped=False):
+    """``{ RF1 & RF2 }`` — structural-scope conjunction."""
+    return Group(children, comma_scoped=comma_scoped)

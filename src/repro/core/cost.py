@@ -1,0 +1,78 @@
+"""LUT cost model for raw-filter configurations.
+
+Two fidelities:
+
+* :func:`exact_luts` — synthesise the complete composed circuit (shared
+  byte input, one structural tracker, all primitives) and technology-map
+  it.  Used for every reported Pareto point.
+* :func:`estimate_luts` — additive model over per-atom synthesised costs
+  with the shared tracker counted once.  Used inside design-space
+  exploration where synthesising ~10⁵ full circuits would be wasteful.
+  The estimator is validated against :func:`exact_luts` by the test
+  suite (it is an upper bound within a few LUTs: composition only *adds*
+  sharing).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from . import composition as comp
+
+_ATOM_CACHE = {}
+
+
+def _build_circuit(expr):
+    from ..hw.circuits import build_raw_filter_circuit
+
+    return build_raw_filter_circuit(expr)
+
+
+def exact_luts(expr, k=6):
+    """LUT count of the fully composed circuit (the honest number)."""
+    return _build_circuit(expr).lut_count(k=k)
+
+
+@lru_cache(maxsize=1)
+def tracker_luts(k=6):
+    """Cost of the shared structural tracker alone."""
+    from ..hw.circuits import add_structural_tracker
+    from ..hw.rtl import Circuit
+
+    circuit = Circuit("tracker_probe")
+    byte = circuit.add_input_vector("byte", 8)
+    record_reset = circuit.add_input("record_reset")
+    signals = add_structural_tracker(circuit, byte, record_reset)
+    circuit.add_output("close", signals.close_bracket)
+    circuit.add_output("comma", signals.comma)
+    return circuit.lut_count(k=k)
+
+
+def atom_luts(atom, k=6):
+    """Synthesised cost of one atom (primitive or structural group).
+
+    Group costs include one structural tracker; :func:`estimate_luts`
+    removes the duplicates when several groups share a filter.
+    """
+    key = (atom.cache_key(), k)
+    if key not in _ATOM_CACHE:
+        _ATOM_CACHE[key] = exact_luts(atom, k=k)
+    return _ATOM_CACHE[key]
+
+
+def estimate_luts(atoms, k=6):
+    """Additive LUT estimate for a conjunction of atoms."""
+    total = 0
+    groups = 0
+    for atom in atoms:
+        total += atom_luts(atom, k=k)
+        if isinstance(atom, comp.Group):
+            groups += 1
+    if groups > 1:
+        total -= (groups - 1) * tracker_luts(k=k)
+    return total
+
+
+def clear_cost_cache():
+    _ATOM_CACHE.clear()
+    tracker_luts.cache_clear()

@@ -1,0 +1,212 @@
+"""Design-space exploration (paper §III-D step iv, Fig. 3, Tables V-VII).
+
+The space for a query with k conditions and block lengths {1, 2, N} has,
+per condition: omit, value-only, three record-level string+value pairs
+and three structural groups (8 options; 11 when bare string matchers are
+also enabled via ``include_string_only`` — the paper's reported fronts
+contain none, so they are off by default).  For the RiotBench queries
+(k = 5) that is 8^5 - 1 = 32,767 raw filters (161,050 with bare
+strings) — the paper evaluates all of them ("brute force"), and so do we:
+
+* atom FPR arrays come from phase-1 vectorised evaluation and are
+  *bit-packed*; a configuration's FPR costs a few bitwise-AND +
+  popcount operations on ~500-byte arrays;
+* LUT costs use the additive per-atom model
+  (:func:`repro.core.cost.estimate_luts`), with exact synthesis re-run
+  for the Pareto points that get reported.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..eval.harness import DatasetView, evaluate_atoms
+from ..eval.pareto import DesignPoint, pareto_front
+from . import cost as cost_model
+from .compiler import (
+    DEFAULT_BLOCKS,
+    condition_options,
+    config_expression,
+)
+
+_POPCOUNT8 = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.int64
+)
+
+
+def _packed(mask):
+    return np.packbits(mask.astype(bool))
+
+
+def _popcount(packed):
+    return int(_POPCOUNT8[packed].sum())
+
+
+class ExploredPoint:
+    """One evaluated configuration (lighter than building its AST)."""
+
+    __slots__ = ("choice", "fpr", "luts", "num_attributes")
+
+    def __init__(self, choice, fpr, luts, num_attributes):
+        self.choice = choice
+        self.fpr = fpr
+        self.luts = luts
+        self.num_attributes = num_attributes
+
+    def __repr__(self):
+        return (
+            f"ExploredPoint(fpr={self.fpr:.3f}, luts={self.luts}, "
+            f"attrs={self.num_attributes})"
+        )
+
+
+class DesignSpace:
+    """Enumerate and evaluate every raw-filter configuration of a query."""
+
+    def __init__(self, query, dataset, blocks=DEFAULT_BLOCKS,
+                 include_string_only=False):
+        self.query = query
+        self.dataset = dataset
+        self.blocks = blocks
+        self.options = [
+            condition_options(
+                condition,
+                blocks=blocks,
+                include_string_only=include_string_only,
+            )
+            for condition in query.conditions
+        ]
+        self.view = DatasetView(dataset)
+        self.truth = query.truth_array(dataset)
+        self._option_masks = None
+
+    # -- phase 1 ------------------------------------------------------------
+
+    def _prepare(self):
+        """Evaluate every distinct atom once; pack per-option masks."""
+        if self._option_masks is not None:
+            return
+        atoms = []
+        seen = set()
+        for condition_opts in self.options:
+            for option in condition_opts:
+                for atom in option.atoms:
+                    key = atom.cache_key()
+                    if key not in seen:
+                        seen.add(key)
+                        atoms.append(atom)
+        results = evaluate_atoms(self.view, atoms)
+        self._option_masks = []
+        for condition_opts in self.options:
+            masks = []
+            for option in condition_opts:
+                mask = np.ones(len(self.dataset), dtype=bool)
+                for atom in option.atoms:
+                    mask &= results[atom.cache_key()]
+                masks.append(_packed(mask))
+            self._option_masks.append(masks)
+        self._negatives = _packed(~self.truth)
+        self._negative_count = _popcount(self._negatives)
+
+    # -- enumeration ----------------------------------------------------------
+
+    def num_configurations(self):
+        total = 1
+        for condition_opts in self.options:
+            total *= len(condition_opts)
+        return total - 1  # minus the all-omit configuration
+
+    def iter_choices(self):
+        """Yield tuples of per-condition option indices (skip all-omit)."""
+        ranges = [range(len(opts)) for opts in self.options]
+        for choice in itertools.product(*ranges):
+            if all(
+                self.options[i][index].is_omit
+                for i, index in enumerate(choice)
+            ):
+                continue
+            yield choice
+
+    def choice_options(self, choice):
+        return [
+            self.options[i][index] for i, index in enumerate(choice)
+        ]
+
+    def choice_expression(self, choice):
+        return config_expression(self.choice_options(choice))
+
+    def choice_atoms(self, choice):
+        atoms = []
+        for option in self.choice_options(choice):
+            atoms.extend(option.atoms)
+        return atoms
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate_choice(self, choice):
+        """(fpr, estimated_luts, num_attributes) for one configuration."""
+        self._prepare()
+        accepted = None
+        attributes = 0
+        for index, option_index in enumerate(choice):
+            option = self.options[index][option_index]
+            if option.is_omit:
+                continue
+            attributes += 1
+            mask = self._option_masks[index][option_index]
+            if accepted is None:
+                accepted = mask.copy()
+            else:
+                np.bitwise_and(accepted, mask, out=accepted)
+        fp = _popcount(np.bitwise_and(accepted, self._negatives))
+        fpr = fp / self._negative_count if self._negative_count else 0.0
+        luts = cost_model.estimate_luts(self.choice_atoms(choice))
+        return fpr, luts, attributes
+
+    def explore(self, limit=None):
+        """Evaluate the whole space; returns a list of ExploredPoint."""
+        self._prepare()
+        points = []
+        for count, choice in enumerate(self.iter_choices()):
+            if limit is not None and count >= limit:
+                break
+            fpr, luts, attributes = self.evaluate_choice(choice)
+            points.append(ExploredPoint(choice, fpr, luts, attributes))
+        return points
+
+    # -- reporting -------------------------------------------------------------
+
+    def pareto(self, points=None, epsilon=1e-9, exact_luts=True):
+        """Pareto-optimal configurations as DesignPoints (Tables V-VII).
+
+        With ``exact_luts`` the reported points are re-synthesised as one
+        composed circuit each, replacing the additive estimate.
+        """
+        if points is None:
+            points = self.explore()
+        design_points = [
+            DesignPoint(
+                None,
+                point.fpr,
+                point.luts,
+                meta={
+                    "choice": point.choice,
+                    "num_attributes": point.num_attributes,
+                },
+            )
+            for point in points
+        ]
+        front = pareto_front(design_points, epsilon=epsilon)
+        resolved = []
+        for point in front:
+            expr = self.choice_expression(point.meta["choice"])
+            luts = point.luts
+            if exact_luts:
+                luts = cost_model.exact_luts(expr)
+            resolved.append(
+                DesignPoint(expr, point.fpr, luts, meta=point.meta)
+            )
+        # exact synthesis can reorder points; re-filter for dominance
+        return pareto_front(resolved, epsilon=epsilon)

@@ -1,0 +1,184 @@
+"""Evolutionary design-space exploration (the paper's future-work item).
+
+§V: "Currently, the RFs are created manually by brute force searching for
+Pareto points.  Since this is too time-consuming for an automatic
+generation of RFs, meta heuristics such as evolutionary algorithms can be
+used in the future."
+
+This module implements that proposal: a small NSGA-II-style multi-
+objective genetic algorithm over the configuration genome (one gene per
+query condition, each gene an option index).  The ablation benchmark
+compares its front against the brute-force front at a fraction of the
+evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DesignSpaceError
+from .design_space import ExploredPoint
+
+
+class EvolutionResult:
+    """Outcome of a GA run."""
+
+    def __init__(self, front, evaluations, generations, history):
+        self.front = front                # list of ExploredPoint
+        self.evaluations = evaluations    # unique configurations evaluated
+        self.generations = generations
+        self.history = history            # best-FPR trajectory
+
+    def __repr__(self):
+        return (
+            f"EvolutionResult(front={len(self.front)}, "
+            f"evaluations={self.evaluations})"
+        )
+
+
+def _non_dominated_sort(points):
+    """Fast-ish non-dominated sorting; returns list of fronts (indices)."""
+    n = len(points)
+    dominated_by = [[] for _ in range(n)]
+    domination_count = [0] * n
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            a, b = points[i], points[j]
+            if (a.fpr <= b.fpr and a.luts <= b.luts) and (
+                a.fpr < b.fpr or a.luts < b.luts
+            ):
+                dominated_by[i].append(j)
+            elif (b.fpr <= a.fpr and b.luts <= a.luts) and (
+                b.fpr < a.fpr or b.luts < a.luts
+            ):
+                domination_count[i] += 1
+    fronts = [[i for i in range(n) if domination_count[i] == 0]]
+    while fronts[-1]:
+        nxt = []
+        for i in fronts[-1]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        fronts.append(nxt)
+    fronts.pop()
+    return fronts
+
+
+def _crowding_distance(points, indices):
+    if len(indices) <= 2:
+        return {i: float("inf") for i in indices}
+    distance = {i: 0.0 for i in indices}
+    for key in ("fpr", "luts"):
+        ordered = sorted(indices, key=lambda i: getattr(points[i], key))
+        lo = getattr(points[ordered[0]], key)
+        hi = getattr(points[ordered[-1]], key)
+        distance[ordered[0]] = float("inf")
+        distance[ordered[-1]] = float("inf")
+        if hi == lo:
+            continue
+        for rank in range(1, len(ordered) - 1):
+            gap = (
+                getattr(points[ordered[rank + 1]], key)
+                - getattr(points[ordered[rank - 1]], key)
+            )
+            distance[ordered[rank]] += gap / (hi - lo)
+    return distance
+
+
+def evolve(space, population_size=48, generations=40, seed=0,
+           mutation_rate=0.25, crossover_rate=0.9):
+    """NSGA-II-lite exploration of a :class:`DesignSpace`.
+
+    Returns an :class:`EvolutionResult` whose front approximates the
+    brute-force Pareto front using far fewer configuration evaluations.
+    """
+    rng = np.random.default_rng(seed)
+    num_genes = len(space.options)
+    gene_sizes = [len(opts) for opts in space.options]
+    if population_size < 4:
+        raise DesignSpaceError("population too small")
+
+    evaluated = {}
+
+    def evaluate(choice):
+        if choice not in evaluated:
+            fpr, luts, attributes = space.evaluate_choice(choice)
+            evaluated[choice] = ExploredPoint(choice, fpr, luts, attributes)
+        return evaluated[choice]
+
+    def random_choice():
+        while True:
+            choice = tuple(
+                int(rng.integers(0, size)) for size in gene_sizes
+            )
+            if not all(
+                space.options[i][g].is_omit for i, g in enumerate(choice)
+            ):
+                return choice
+
+    def repair(choice):
+        if all(space.options[i][g].is_omit for i, g in enumerate(choice)):
+            position = int(rng.integers(0, num_genes))
+            options = space.options[position]
+            non_omit = [i for i, o in enumerate(options) if not o.is_omit]
+            genes = list(choice)
+            genes[position] = int(rng.choice(non_omit))
+            return tuple(genes)
+        return choice
+
+    population = [random_choice() for _ in range(population_size)]
+    history = []
+
+    for generation in range(generations):
+        points = [evaluate(choice) for choice in population]
+        history.append(min(point.fpr for point in points))
+
+        # make children
+        children = []
+        while len(children) < population_size:
+            a, b = rng.integers(0, population_size, size=2)
+            parent_a, parent_b = population[int(a)], population[int(b)]
+            if rng.random() < crossover_rate:
+                child = tuple(
+                    parent_a[i] if rng.random() < 0.5 else parent_b[i]
+                    for i in range(num_genes)
+                )
+            else:
+                child = parent_a
+            genes = list(child)
+            for position in range(num_genes):
+                if rng.random() < mutation_rate:
+                    genes[position] = int(
+                        rng.integers(0, gene_sizes[position])
+                    )
+            children.append(repair(tuple(genes)))
+
+        # environmental selection over parents + children
+        pool = list(dict.fromkeys(population + children))
+        pool_points = [evaluate(choice) for choice in pool]
+        fronts = _non_dominated_sort(pool_points)
+        survivors = []
+        for front in fronts:
+            if len(survivors) + len(front) <= population_size:
+                survivors.extend(front)
+            else:
+                crowding = _crowding_distance(pool_points, front)
+                ranked = sorted(
+                    front, key=lambda i: -crowding[i]
+                )
+                survivors.extend(
+                    ranked[: population_size - len(survivors)]
+                )
+                break
+        population = [pool[i] for i in survivors]
+
+    final_points = [evaluate(choice) for choice in population]
+    fronts = _non_dominated_sort(final_points)
+    front = [final_points[i] for i in fronts[0]] if fronts else []
+    front.sort(key=lambda p: (-p.fpr, p.luts))
+    return EvolutionResult(
+        front, len(evaluated), generations, history
+    )

@@ -1,0 +1,179 @@
+"""Compile JSONPath queries into raw filters (design-flow step i).
+
+§III-D step i says "extract search strings and value ranges from the
+query".  This module automates that step for the JSONPath dialect the
+oracle supports, so the paper's Listing 2
+
+    $.e[?(@.n=="temperature" & @.v >= 0.7 & @.v <= 35.1)]
+
+compiles directly into the raw filter
+
+    { s1("temperature") & v(0.7 <= f <= 35.1) }
+
+Soundness rules (a raw filter must over-approximate the query):
+
+* string equality  → a string matcher for the literal;
+* numeric bounds on one field fold into one value-range filter; strict
+  comparisons are widened to closed bounds (a superset — never a false
+  negative);
+* ``!=`` and other non-extractable predicates are *dropped* (again a
+  superset);
+* OR predicates compile all branches and join with record-level Or —
+  nothing may be dropped inside an OR (§III-D iii.b);
+* conjunctions become structural groups by default (the filter and its
+  key live in the same scope), or record-level Ands with
+  ``structural=False``.
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryError
+from ..jsonpath.path import (
+    AndPred,
+    Comparison,
+    Filter,
+    OrPred,
+    Path,
+    compile_path,
+)
+from . import composition as comp
+
+
+class _FieldBounds:
+    """Accumulated numeric constraints on one ``@.field``."""
+
+    __slots__ = ("lo", "hi", "has_float")
+
+    def __init__(self):
+        self.lo = None
+        self.hi = None
+        self.has_float = False
+
+    def add(self, operator, literal):
+        if isinstance(literal, float):
+            self.has_float = True
+        if operator in (">=", ">", "=="):
+            if self.lo is None or literal > self.lo:
+                self.lo = literal
+        if operator in ("<=", "<", "=="):
+            if self.hi is None or literal < self.hi:
+                self.hi = literal
+
+    def to_predicate(self):
+        kind = "float" if self.has_float else "int"
+        lo = self.lo
+        hi = self.hi
+        if lo is not None and hi is not None and float(lo) > float(hi):
+            raise QueryError(
+                f"contradictory bounds [{lo}, {hi}] in query filter"
+            )
+        return comp.NumberPredicate(lo, hi, kind=kind)
+
+
+def compile_jsonpath(path, block=1, structural=True):
+    """Compile a JSONPath string (or compiled Path) into a raw filter.
+
+    Args:
+        path: JSONPath text or a :class:`~repro.jsonpath.path.Path`.
+        block: block length for the derived string matchers (1, 2, "N",
+            or "dfa").
+        structural: combine a filter predicate's primitives in one
+            structural group (paper default for SenML-style data).
+    Returns:
+        a raw-filter expression; record-level evaluation of the result
+        over-approximates ``path.matches`` on every record.
+    """
+    if not isinstance(path, Path):
+        path = compile_path(path)
+
+    filters = [step for step in path.steps if isinstance(step, Filter)]
+    field_names = [
+        step.name for step in path.steps if hasattr(step, "name")
+    ]
+
+    atoms = []
+    if filters:
+        for step in filters:
+            atoms.append(
+                _compile_predicate(step.predicate, block, structural)
+            )
+    if not atoms:
+        # existence query: the terminal field name must appear
+        if not field_names:
+            raise QueryError(
+                "cannot derive a raw filter from this path (no fields, "
+                "no filter predicate)"
+            )
+        atoms.append(comp.StringPredicate(field_names[-1], block))
+    if len(atoms) == 1:
+        return atoms[0]
+    return comp.And(atoms)
+
+
+def _compile_predicate(predicate, block, structural):
+    if isinstance(predicate, OrPred):
+        branches = [
+            _compile_predicate(term, block, structural)
+            for term in predicate.terms
+        ]
+        return comp.Or(branches)
+    if isinstance(predicate, AndPred):
+        comparisons = []
+        for term in predicate.terms:
+            if isinstance(term, Comparison):
+                comparisons.append(term)
+            elif isinstance(term, (AndPred, OrPred)):
+                # nested boolean structure: compile separately and AND
+                nested = _compile_predicate(term, block, structural)
+                comparisons.append(nested)
+            else:  # pragma: no cover - parser produces only these
+                raise QueryError(f"unsupported predicate {term!r}")
+        return _combine_comparisons(comparisons, block, structural)
+    if isinstance(predicate, Comparison):
+        return _combine_comparisons([predicate], block, structural)
+    raise QueryError(f"unsupported predicate {predicate!r}")
+
+
+def _combine_comparisons(terms, block, structural):
+    primitives = []
+    bounds = {}
+    for term in terms:
+        if isinstance(term, comp.RawFilter):
+            primitives.append(term)
+            continue
+        literal = term.literal
+        if term.operator == "==" and isinstance(literal, str):
+            primitives.append(comp.StringPredicate(literal, block))
+            continue
+        if term.operator == "!=":
+            continue  # cannot be raw-filtered; dropping is sound
+        if isinstance(literal, bool) or not isinstance(
+            literal, (int, float)
+        ):
+            continue  # non-numeric comparison: drop (sound)
+        bounds.setdefault(term.field, _FieldBounds()).add(
+            term.operator, literal
+        )
+    for field_bounds in bounds.values():
+        if field_bounds.lo is None and field_bounds.hi is None:
+            continue
+        primitives.append(field_bounds.to_predicate())
+
+    flat = [p for p in primitives if isinstance(p, comp.Primitive)]
+    nested = [p for p in primitives if not isinstance(p, comp.Primitive)]
+    if not flat and not nested:
+        raise QueryError(
+            "no raw-filterable predicate in this query filter"
+        )
+    pieces = []
+    if flat:
+        if structural and len(flat) > 1:
+            pieces.append(comp.Group(flat))
+        elif len(flat) == 1:
+            pieces.append(flat[0])
+        else:
+            pieces.append(comp.And(flat))
+    pieces.extend(nested)
+    if len(pieces) == 1:
+        return pieces[0]
+    return comp.And(pieces)

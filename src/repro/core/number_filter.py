@@ -1,0 +1,136 @@
+"""Behavioural model of the number-range raw filter (paper §III-B).
+
+A :class:`NumberRangeFilter` owns the minimised DFA derived from the value
+range (via :mod:`repro.regex.range_regex`) and evaluates it with the
+paper's token framing: the automaton consumes characters of each maximal
+numeric token (digits and ``+ - . e E``) and is checked/reset at the first
+non-numeric character.
+
+Evaluation is offered at three speeds:
+
+* :meth:`token_accepts` — one token (reference semantics);
+* :meth:`fire_positions` / :meth:`record_matches` — one record;
+* :func:`batch_token_accepts` — lock-step vectorised DFA stepping over a
+  whole dataset's token matrix (built once per dataset and shared by all
+  number filters; see :mod:`repro.core.vectorized`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..regex.charclass import NUMBER_TOKEN_CHARS
+from ..regex.dfa import DFA
+from ..regex.range_regex import number_range_regex
+
+#: lookup table: byte value -> is it a numeric-token character
+TOKEN_CHAR_TABLE = np.zeros(256, dtype=bool)
+for _code in NUMBER_TOKEN_CHARS:
+    TOKEN_CHAR_TABLE[_code] = True
+
+
+def _bound_key(bound):
+    if bound is None:
+        return None
+    return str(bound)
+
+
+@lru_cache(maxsize=256)
+def _build_dfa(lo_key, hi_key, kind, allow_exponent):
+    regex = number_range_regex(
+        lo_key, hi_key, kind=kind, allow_exponent=allow_exponent
+    )
+    return DFA.from_regex(regex)
+
+
+class NumberRangeFilter:
+    """Raw filter accepting records containing a number in ``[lo, hi]``.
+
+    Args:
+        lo, hi: bounds as ints, floats or decimal strings (``None`` for an
+            open side; at least one bound required).
+        kind: ``"int"`` or ``"float"`` — the paper distinguishes
+            ``v(l <= i <= u)`` from ``v(l <= f <= u)``.
+        allow_exponent: include the exponent escape hatch (paper default).
+    """
+
+    def __init__(self, lo, hi, kind="float", allow_exponent=True):
+        self.lo = lo
+        self.hi = hi
+        self.kind = kind
+        self.allow_exponent = allow_exponent
+        self.dfa = _build_dfa(
+            _bound_key(lo), _bound_key(hi), kind, allow_exponent
+        )
+
+    # -- single token ----------------------------------------------------
+
+    def token_accepts(self, token):
+        """Reference: does one numeric token match the range filter?"""
+        if isinstance(token, str):
+            token = token.encode("ascii", errors="replace")
+        return self.dfa.accepts(token)
+
+    # -- one record --------------------------------------------------------
+
+    def tokens(self, data):
+        """Maximal numeric-token (start, end) spans of a record."""
+        arr = np.frombuffer(bytes(data), dtype=np.uint8)
+        return token_spans(arr)
+
+    def fire_positions(self, arr):
+        """Positions of the delimiter ending each *accepted* token.
+
+        ``arr`` must end with a non-numeric byte (records are framed with
+        a trailing newline) so the final token is closed.
+        """
+        positions = []
+        for start, end in token_spans(arr):
+            if self.dfa.accepts(arr[start:end].tobytes()):
+                positions.append(end)  # the delimiter cycle
+        return positions
+
+    def record_matches(self, data):
+        data = bytes(data) + b"\n"
+        arr = np.frombuffer(data, dtype=np.uint8)
+        return bool(self.fire_positions(arr))
+
+    def __repr__(self):
+        return f"NumberRangeFilter({self.lo!r}, {self.hi!r}, {self.kind})"
+
+
+def token_spans(arr):
+    """(start, end) spans of maximal numeric-token runs in a byte array."""
+    is_token = TOKEN_CHAR_TABLE[arr]
+    if not is_token.any():
+        return []
+    padded = np.concatenate(([False], is_token, [False]))
+    delta = np.diff(padded.astype(np.int8))
+    starts = np.flatnonzero(delta == 1)
+    ends = np.flatnonzero(delta == -1)
+    return list(zip(starts.tolist(), ends.tolist()))
+
+
+def batch_token_accepts(dfa, token_matrix, token_lengths):
+    """Run a DFA over many tokens in lock step.
+
+    Args:
+        dfa: a :class:`~repro.regex.dfa.DFA`.
+        token_matrix: uint8 array of shape ``(num_tokens, max_len)``,
+            zero-padded after each token.
+        token_lengths: int array of shape ``(num_tokens,)``.
+    Returns:
+        boolean array: token accepted by the DFA.
+    """
+    num_tokens, max_len = token_matrix.shape
+    states = np.full(num_tokens, dfa.start, dtype=np.int32)
+    table = dfa.table
+    for column in range(max_len):
+        active = token_lengths > column
+        if not active.any():
+            break
+        stepped = table[states, token_matrix[:, column]]
+        states = np.where(active, stepped, states)
+    return dfa.accepting[states]

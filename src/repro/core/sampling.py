@@ -1,0 +1,104 @@
+"""Sampled FPR estimation (the paper's second future-work item).
+
+§V: "Instead of evaluating each design point for the complete dataset, we
+want to explore sampling methods that can potentially speed up the
+process without a large increase in the FPR."
+
+:func:`sampled_design_space` evaluates a design space on a random record
+subsample; :func:`sampling_error_study` quantifies how the estimated
+FPRs (and the resulting Pareto front) deviate from the full-dataset
+truth as the sample shrinks — the ablation benchmark reports this table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DesignSpaceError
+from .design_space import DesignSpace
+
+
+def sample_dataset(dataset, fraction, seed=0, stratify_truth=None):
+    """Random record subsample; optionally stratified on oracle truth.
+
+    Stratification keeps the positive/negative balance, which matters
+    because FPR is conditioned on negatives.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise DesignSpaceError("sample fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+    k = max(1, int(round(n * fraction)))
+    if stratify_truth is None:
+        indices = rng.choice(n, size=k, replace=False)
+    else:
+        truth = np.asarray(stratify_truth, dtype=bool)
+        positives = np.flatnonzero(truth)
+        negatives = np.flatnonzero(~truth)
+        k_pos = max(1, int(round(k * positives.size / n)))
+        k_neg = max(1, k - k_pos)
+        indices = np.concatenate(
+            [
+                rng.choice(positives, size=min(k_pos, positives.size),
+                           replace=False),
+                rng.choice(negatives, size=min(k_neg, negatives.size),
+                           replace=False),
+            ]
+        )
+    indices = np.sort(indices)
+    return dataset.subset(indices.tolist()), indices
+
+
+def sampled_design_space(query, dataset, fraction, seed=0, **kwargs):
+    """A DesignSpace over a stratified record subsample."""
+    truth = query.truth_array(dataset)
+    subset, _ = sample_dataset(
+        dataset, fraction, seed=seed, stratify_truth=truth
+    )
+    return DesignSpace(query, subset, **kwargs)
+
+
+def sampling_error_study(query, dataset, fractions=(0.5, 0.25, 0.1, 0.05),
+                         seed=0, probe_choices=None, **kwargs):
+    """Compare sampled FPR estimates against full-dataset FPRs.
+
+    Returns a list of dicts (one per fraction) with the mean/max absolute
+    FPR error over probe configurations and the speedup proxy (records
+    evaluated).
+    """
+    full_space = DesignSpace(query, dataset, **kwargs)
+    if probe_choices is None:
+        rng = np.random.default_rng(seed)
+        probe_choices = []
+        sizes = [len(opts) for opts in full_space.options]
+        while len(probe_choices) < 64:
+            choice = tuple(int(rng.integers(0, s)) for s in sizes)
+            if all(
+                full_space.options[i][g].is_omit
+                for i, g in enumerate(choice)
+            ):
+                continue
+            probe_choices.append(choice)
+    full_fprs = {
+        choice: full_space.evaluate_choice(choice)[0]
+        for choice in probe_choices
+    }
+    rows = []
+    for fraction in fractions:
+        space = sampled_design_space(
+            query, dataset, fraction, seed=seed, **kwargs
+        )
+        errors = []
+        for choice in probe_choices:
+            estimated = space.evaluate_choice(choice)[0]
+            errors.append(abs(estimated - full_fprs[choice]))
+        errors = np.array(errors)
+        rows.append(
+            {
+                "fraction": fraction,
+                "records": len(space.dataset),
+                "mean_abs_error": float(errors.mean()),
+                "max_abs_error": float(errors.max()),
+            }
+        )
+    return rows

@@ -1,0 +1,192 @@
+"""Behavioural models of the three string-matching techniques (§III-A).
+
+These models are *bit-exact* with the circuits in
+:mod:`repro.hw.circuits.string_circuits` (the test suite asserts this on
+random streams) but operate on whole byte arrays with numpy, so they can
+evaluate datasets at Python speed.
+
+All functions operate on a numpy ``uint8`` array which may contain many
+newline-separated records; because no needle ever contains a newline, the
+separator naturally breaks windows and runs, so per-record reductions can
+be done afterwards with ``np.logical_or.reduceat``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: sentinel block value for the paper's technique (ii), "B = N"
+FULL = "N"
+#: sentinel block value for the paper's technique (i), the char-per-cycle DFA
+DFA_TECHNIQUE = "dfa"
+
+
+def as_needle_bytes(needle):
+    if isinstance(needle, bytes):
+        data = needle
+    else:
+        data = str(needle).encode("utf-8")
+    if not data:
+        raise ReproError("empty search string")
+    if b"\n" in data:
+        raise ReproError("needles may not contain record separators")
+    return data
+
+
+def substrings(needle, block):
+    """The B-grams of a needle in order (paper Table IV), duplicates kept."""
+    data = as_needle_bytes(needle)
+    if not 1 <= block <= len(data):
+        raise ReproError(f"block {block} out of range for {data!r}")
+    return [data[i : i + block] for i in range(len(data) - block + 1)]
+
+
+def unique_substrings(needle, block):
+    """Distinct B-grams (what the hardware actually compares against)."""
+    seen = []
+    for gram in substrings(needle, block):
+        if gram not in seen:
+            seen.append(gram)
+    return seen
+
+
+def resolve_block(needle, block):
+    """Normalise a block spec: int, FULL ("N"), or DFA_TECHNIQUE."""
+    data = as_needle_bytes(needle)
+    if block == FULL:
+        return len(data)
+    if block == DFA_TECHNIQUE:
+        return DFA_TECHNIQUE
+    block = int(block)
+    if not 1 <= block <= len(data):
+        raise ReproError(f"block {block} out of range for {data!r}")
+    return block
+
+
+def window_hit_array(arr, needle, block):
+    """Per-position "window equals some B-gram" booleans.
+
+    Position ``i`` refers to the window consisting of bytes
+    ``arr[i-block+1 .. i]``; positions with ``i < block-1`` compare against
+    an implicit zero prefix, matching the hardware's zero-initialised
+    buffer registers (NUL never appears in a needle, so those windows
+    simply miss).
+    """
+    data = as_needle_bytes(needle)
+    block = int(block)
+    grams = set(substrings(data, block))
+    n = arr.shape[0]
+    hit = np.zeros(n, dtype=bool)
+    shifted = []
+    for age in range(block):
+        if age == 0:
+            shifted.append(arr)
+        else:
+            lagged = np.zeros(n, dtype=arr.dtype)
+            lagged[age:] = arr[:-age]
+            shifted.append(lagged)
+    for gram in grams:
+        gram_hit = np.ones(n, dtype=bool)
+        for age, expected in enumerate(reversed(gram)):
+            gram_hit &= shifted[age] == expected
+        hit |= gram_hit
+    return hit
+
+
+def run_lengths(hits):
+    """Length of the True-run ending at each position (0 where False)."""
+    n = hits.shape[0]
+    index = np.arange(n, dtype=np.int64)
+    last_false = np.maximum.accumulate(np.where(~hits, index, -1))
+    return np.where(hits, index - last_false, 0)
+
+
+def fire_array(arr, needle, block):
+    """Cycle-accurate ``fire`` output of a matcher over a byte array.
+
+    ``block`` may be an int, :data:`FULL`, or :data:`DFA_TECHNIQUE`.  For
+    the DFA technique the accept state is absorbing, so ``fire`` stays
+    high from the first occurrence onwards — but note record boundaries
+    are *not* handled here for the DFA case; use the per-record APIs for
+    it (the evaluation harness never places DFA matchers inside
+    structural groups, mirroring the paper's design space).
+    """
+    data = as_needle_bytes(needle)
+    resolved = resolve_block(data, block)
+    if resolved == DFA_TECHNIQUE:
+        exact = fire_array(arr, data, FULL)
+        return np.maximum.accumulate(exact)
+    hits = window_hit_array(arr, data, resolved)
+    threshold = len(data) - resolved + 1
+    return run_lengths(hits) >= threshold
+
+
+def record_match_array(arr, starts, needle, block):
+    """Per-record match booleans for a concatenated record stream.
+
+    Args:
+        arr: uint8 array of newline-terminated records.
+        starts: int array of record start offsets.
+    """
+    data = as_needle_bytes(needle)
+    resolved = resolve_block(data, block)
+    if resolved == DFA_TECHNIQUE or resolved == len(data):
+        # both techniques are exact: per-record result == substring find
+        fires = fire_array(arr, data, FULL)
+    else:
+        fires = fire_array(arr, data, resolved)
+    return np.logical_or.reduceat(fires, starts)
+
+
+def record_matches(data, needle, block):
+    """Scalar reference: does one record match?
+
+    For exact techniques this is plain substring containment; for the
+    approximate matcher it is the run-counter semantics.
+    """
+    needle_bytes = as_needle_bytes(needle)
+    resolved = resolve_block(needle_bytes, block)
+    if resolved == DFA_TECHNIQUE or resolved == len(needle_bytes):
+        return needle_bytes in bytes(data)
+    return bool(
+        fire_array(
+            np.frombuffer(bytes(data), dtype=np.uint8),
+            needle_bytes,
+            resolved,
+        ).any()
+    )
+
+
+def reference_fire_trace(data, needle, block):
+    """Pure-Python per-cycle fire trace (the test oracle for gate-level).
+
+    Implements the counter semantics byte by byte, with the window
+    initialised to zeros, exactly like the circuit.
+    """
+    needle_bytes = as_needle_bytes(needle)
+    resolved = resolve_block(needle_bytes, block)
+    stream = bytes(data)
+    if resolved == DFA_TECHNIQUE:
+        seen = False
+        trace = []
+        for position in range(len(stream)):
+            if not seen and stream[: position + 1].endswith(needle_bytes):
+                seen = True
+            trace.append(seen)
+        return trace
+    grams = set(substrings(needle_bytes, resolved))
+    threshold = len(needle_bytes) - resolved + 1
+    window = [0] * resolved
+    run = 0
+    trace = []
+    for byte in stream:
+        window = [byte] + window[:-1]
+        window_bytes = bytes(reversed(window))
+        if window_bytes in grams:
+            run = min(run + 1, threshold)
+        else:
+            run = 0
+        trace.append(run >= threshold)
+    return trace

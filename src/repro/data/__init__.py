@@ -1,0 +1,42 @@
+"""Dataset substrate: synthetic RiotBench-style workloads + containers.
+
+See DESIGN.md §4 for the substitution rationale: the real RiotBench CSVs
+and the Twitter corpus are not redistributable, so these generators
+reproduce the schema and distributional properties the paper's results
+depend on.
+"""
+
+from .corpus import Dataset, inflate
+from .riotbench import (
+    ALL_QUERIES,
+    QS0,
+    QS1,
+    QT,
+    Query,
+    RangeCondition,
+    TABLE1_STRINGS,
+    TABLE2_STRINGS,
+    TABLE3_STRINGS,
+    load_dataset,
+)
+from .smartcity import generate_smartcity
+from .taxi import generate_taxi
+from .twitter import generate_twitter
+
+__all__ = [
+    "Dataset",
+    "inflate",
+    "ALL_QUERIES",
+    "QS0",
+    "QS1",
+    "QT",
+    "Query",
+    "RangeCondition",
+    "TABLE1_STRINGS",
+    "TABLE2_STRINGS",
+    "TABLE3_STRINGS",
+    "load_dataset",
+    "generate_smartcity",
+    "generate_taxi",
+    "generate_twitter",
+]

@@ -1,0 +1,129 @@
+"""Dataset containers and corpus utilities.
+
+A :class:`Dataset` is an ordered collection of newline-delimited JSON
+records, held both as raw bytes (what the FPGA sees) and parsed values
+(what the oracle sees).  :func:`inflate` grows a dataset to a byte budget
+for the throughput experiment (§IV-B preloads "44 MB of inflated JSON
+data" into RAM).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from ..jsonpath.parser import loads
+
+
+class Dataset:
+    """Raw + parsed views of a record stream."""
+
+    def __init__(self, name, records, parsed=None):
+        self.name = name
+        self.records = [bytes(record) for record in records]
+        for record in self.records:
+            if b"\n" in record:
+                raise ReproError("records must not contain newlines")
+        self._parsed = list(parsed) if parsed is not None else None
+        self._stream = None
+        self._starts = None
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    @property
+    def parsed(self):
+        """Parsed record values (via the strict JSON parser), cached."""
+        if self._parsed is None:
+            self._parsed = [loads(record) for record in self.records]
+        return self._parsed
+
+    @property
+    def stream(self):
+        """The concatenated newline-terminated byte stream (uint8 array)."""
+        if self._stream is None:
+            joined = b"".join(record + b"\n" for record in self.records)
+            self._stream = np.frombuffer(joined, dtype=np.uint8)
+        return self._stream
+
+    @property
+    def starts(self):
+        """Start offset of each record inside :attr:`stream`."""
+        if self._starts is None:
+            lengths = np.fromiter(
+                (len(record) + 1 for record in self.records),
+                dtype=np.int64,
+                count=len(self.records),
+            )
+            starts = np.zeros(len(self.records), dtype=np.int64)
+            np.cumsum(lengths[:-1], out=starts[1:])
+            self._starts = starts
+        return self._starts
+
+    @property
+    def total_bytes(self):
+        return int(self.stream.shape[0])
+
+    @classmethod
+    def from_ndjson(cls, path, name=None, validate=True):
+        """Load a dataset from a newline-delimited JSON file.
+
+        With ``validate`` (default) every record is parsed eagerly by the
+        strict parser, so malformed lines fail loudly at load time rather
+        than during evaluation.
+        """
+        records = []
+        with open(path, "rb") as handle:
+            for line in handle:
+                record = line.rstrip(b"\r\n")
+                if record.strip():
+                    records.append(record)
+        dataset = cls(name or str(path), records)
+        if validate:
+            dataset.parsed  # noqa: B018 - force eager strict parsing
+        return dataset
+
+    def subset(self, indices):
+        parsed = None
+        if self._parsed is not None:
+            parsed = [self._parsed[i] for i in indices]
+        return Dataset(
+            self.name, [self.records[i] for i in indices], parsed
+        )
+
+    def __repr__(self):
+        return (
+            f"Dataset({self.name!r}, records={len(self)}, "
+            f"bytes={self.total_bytes})"
+        )
+
+
+def inflate(dataset, target_bytes):
+    """Repeat a dataset's records until the stream reaches a byte budget.
+
+    Mirrors the paper's throughput experiment setup (44 MB of inflated
+    RiotBench JSON preloaded to RAM).
+    """
+    if target_bytes <= 0:
+        raise ReproError("target size must be positive")
+    records = []
+    parsed = []
+    total = 0
+    source_parsed = dataset.parsed
+    index = 0
+    count = len(dataset.records)
+    if count == 0:
+        raise ReproError("cannot inflate an empty dataset")
+    while total < target_bytes:
+        record = dataset.records[index % count]
+        records.append(record)
+        parsed.append(source_parsed[index % count])
+        total += len(record) + 1
+        index += 1
+    return Dataset(f"{dataset.name}-inflated", records, parsed)

@@ -1,0 +1,183 @@
+"""RiotBench query definitions (paper Table VIII) and the exact oracle.
+
+Each query is a conjunction of attribute range conditions.  The oracle
+semantics (what the CPU parser would compute, and hence the ground truth
+for FPR):
+
+* **SenML accessor** (SmartCity): a condition on attribute ``a`` holds if
+  the pack contains a measurement with ``n == a`` whose numeric ``v`` is
+  within range; a missing sensor fails the condition.
+* **flat accessor** (Taxi): a condition holds if the top-level field
+  exists and its numeric value is within range; sparse records (e.g. no
+  ``tolls_amount``) fail the condition.
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryError
+from ..jsonpath.path import coerce_number
+from ..jsonpath.senml import measurement_value
+
+
+class RangeCondition:
+    """``lo <= attribute <= hi`` over parsed records."""
+
+    __slots__ = ("attribute", "lo", "hi", "kind")
+
+    def __init__(self, attribute, lo, hi):
+        self.attribute = attribute
+        self.lo = lo
+        self.hi = hi
+        # the paper writes v(l <= i <= u) when both bounds are integral
+        both_int = (
+            isinstance(lo, int) and isinstance(hi, int)
+        )
+        self.kind = "int" if both_int else "float"
+
+    @property
+    def lo_text(self):
+        return _bound_text(self.lo)
+
+    @property
+    def hi_text(self):
+        return _bound_text(self.hi)
+
+    def holds(self, value):
+        if value is None:
+            return False
+        return float(self.lo) <= float(value) <= float(self.hi)
+
+    def __repr__(self):
+        return (
+            f"RangeCondition({self.lo} <= {self.attribute!r} <= {self.hi})"
+        )
+
+
+def _bound_text(bound):
+    if isinstance(bound, int):
+        return str(bound)
+    return str(bound)
+
+
+class Query:
+    """A RiotBench filter query: a conjunction of range conditions."""
+
+    def __init__(self, name, dataset_name, accessor, conditions,
+                 paper_selectivity):
+        if accessor not in ("senml", "flat"):
+            raise QueryError(f"unknown accessor {accessor!r}")
+        self.name = name
+        self.dataset_name = dataset_name
+        self.accessor = accessor
+        self.conditions = tuple(conditions)
+        self.paper_selectivity = paper_selectivity
+
+    def attribute_value(self, parsed, attribute):
+        if self.accessor == "senml":
+            return measurement_value(parsed, attribute)
+        if isinstance(parsed, dict):
+            return coerce_number(parsed.get(attribute))
+        return None
+
+    def matches(self, parsed):
+        """Exact oracle: does a parsed record satisfy the query?"""
+        return all(
+            condition.holds(
+                self.attribute_value(parsed, condition.attribute)
+            )
+            for condition in self.conditions
+        )
+
+    def truth_array(self, dataset):
+        """Oracle booleans for every record of a dataset."""
+        import numpy as np
+
+        return np.fromiter(
+            (self.matches(parsed) for parsed in dataset.parsed),
+            dtype=bool,
+            count=len(dataset),
+        )
+
+    def expression_text(self):
+        parts = [
+            f"({c.lo} <= \"{c.attribute}\" <= {c.hi})"
+            for c in self.conditions
+        ]
+        return " AND ".join(parts)
+
+    def __repr__(self):
+        return f"Query({self.name}, {len(self.conditions)} conditions)"
+
+
+# -- Table VIII ---------------------------------------------------------------
+
+QS0 = Query(
+    "QS0",
+    "smartcity",
+    "senml",
+    [
+        RangeCondition("temperature", "0.7", "35.1"),
+        RangeCondition("humidity", "20.3", "69.1"),
+        RangeCondition("light", 0, 5153),
+        RangeCondition("dust", "83.36", "3322.67"),
+        RangeCondition("airquality_raw", 12, 49),
+    ],
+    paper_selectivity=0.639,
+)
+
+QS1 = Query(
+    "QS1",
+    "smartcity",
+    "senml",
+    [
+        RangeCondition("temperature", "-12.5", "43.1"),
+        RangeCondition("humidity", "10.7", "95.2"),
+        RangeCondition("light", 1345, 26282),
+        RangeCondition("dust", "186.61", "5188.21"),
+        RangeCondition("airquality_raw", 17, 363),
+    ],
+    paper_selectivity=0.054,
+)
+
+QT = Query(
+    "QT",
+    "taxi",
+    "flat",
+    [
+        RangeCondition("trip_time_in_secs", 140, 3155),
+        RangeCondition("tip_amount", "0.65", "38.55"),
+        RangeCondition("fare_amount", "6.00", "201.00"),
+        RangeCondition("tolls_amount", "2.50", "18.00"),
+        RangeCondition("trip_distance", "1.37", "29.86"),
+    ],
+    paper_selectivity=0.057,
+)
+
+ALL_QUERIES = {"QS0": QS0, "QS1": QS1, "QT": QT}
+
+#: needles evaluated in the paper's string-matcher tables
+TABLE1_STRINGS = (
+    "light", "temperature", "dust", "humidity", "airquality_raw"
+)
+TABLE2_STRINGS = (
+    "tolls_amount", "trip_distance", "fare_amount",
+    "trip_time_in_secs", "tip_amount",
+)
+TABLE3_STRINGS = (
+    "created_at", "user", "location", "lang", "favourites_count"
+)
+
+
+def load_dataset(name, num_records=4000, seed=None):
+    """Instantiate one of the benchmark datasets by name."""
+    from .smartcity import generate_smartcity
+    from .taxi import generate_taxi
+    from .twitter import generate_twitter
+
+    if name == "smartcity":
+        return generate_smartcity(num_records, seed=7 if seed is None else seed)
+    if name == "taxi":
+        return generate_taxi(num_records, seed=11 if seed is None else seed)
+    if name == "twitter":
+        return generate_twitter(num_records, seed=13 if seed is None else seed)
+    raise QueryError(f"unknown dataset {name!r}")

@@ -1,0 +1,99 @@
+"""Synthetic NYC-taxi-style dataset (RiotBench TAXI stream stand-in).
+
+Each record is one taxi trip, flat JSON with the 2013 FOIL-trip schema.
+Generative properties the paper's Table II / Table VII depend on:
+
+* every record carries ``total_amount`` — whose letters are a subset of
+  ``tolls_amount``'s, which is why the paper measures FPR 1.000 for
+  ``s1("tolls_amount")``;
+* sparse monetary fields: ``tolls_amount`` appears only when tolls were
+  actually paid (~12 % of trips) and ``tip_amount`` only for card tips
+  (~60 %), so the string tables have negatives and QT's selectivity is
+  dominated by the tolls predicate;
+* hex trip identifiers contain letter ``e`` between digits, exercising
+  the number filters' exponent escape hatch (a deliberate FP source);
+* fare/time/distance are correlated (fare ≈ base + rate × distance), the
+  paper's explanation for why filtering one of the correlated attributes
+  suffices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .corpus import Dataset
+
+_HEX = "0123456789abcdef"
+
+#: fraction of trips that paid a toll (tolls_amount present)
+TOLL_FRACTION = 0.12
+#: fraction of trips with a card tip (tip_amount present)
+TIP_FRACTION = 0.60
+
+
+def _hex_string(rng, length):
+    return "".join(_HEX[i] for i in rng.integers(0, 16, size=length))
+
+
+def _datetime(rng, day_offset):
+    hour = int(rng.integers(0, 24))
+    minute = int(rng.integers(0, 60))
+    second = int(rng.integers(0, 60))
+    day = 1 + (day_offset % 28)
+    return f"2013-01-{day:02d} {hour:02d}:{minute:02d}:{second:02d}"
+
+
+def generate_taxi(num_records=4000, seed=11, toll_fraction=TOLL_FRACTION,
+                  tip_fraction=TIP_FRACTION):
+    """Generate a taxi-trip dataset; returns a Dataset."""
+    rng = np.random.default_rng(seed)
+    records = []
+    for index in range(num_records):
+        has_toll = rng.random() < toll_fraction
+        if has_toll:
+            # toll trips are bridge/tunnel crossings: long highway hauls,
+            # which is why the tolls predicate alone nearly implies the
+            # distance/time/fare predicates (the correlation the paper
+            # exploits to reach FPR 0.000 with two attribute groups)
+            distance = float(
+                np.clip(np.exp(rng.normal(np.log(7.0), 0.5)), 2.0, 28.0)
+            )
+            speed_mph = max(15.0, rng.normal(28.0, 5.0))
+        else:
+            distance = float(np.exp(rng.normal(np.log(2.4), 0.75)))
+            speed_mph = max(4.0, rng.normal(12.0, 3.5))
+        trip_time = int(max(30.0, distance / speed_mph * 3600.0
+                            + rng.normal(0.0, 60.0)))
+        fare = max(2.5, 3.0 + 2.5 * distance + rng.normal(0.0, 1.5))
+        surcharge = 0.5 if rng.random() < 0.35 else 0.0
+        mta_tax = 0.5
+        toll = 0.0
+        if has_toll:
+            toll = float(np.clip(rng.normal(5.33, 1.8), 2.5, 18.0))
+        has_tip = rng.random() < tip_fraction
+        tip = 0.0
+        if has_tip:
+            tip = max(0.5, fare * rng.normal(0.18, 0.05))
+        total = fare + surcharge + mta_tax + toll + tip
+
+        pickup = _datetime(rng, index)
+        parts = [
+            '"medallion":"%s"' % _hex_string(rng, 32),
+            '"hack_license":"%s"' % _hex_string(rng, 32),
+            '"pickup_datetime":"%s"' % pickup,
+            '"payment_type":"%s"' % ("CRD" if has_tip else "CSH"),
+            '"trip_time_in_secs":%d' % trip_time,
+            '"trip_distance":%.2f' % distance,
+            '"pickup_longitude":%.6f' % rng.normal(-73.97, 0.04),
+            '"pickup_latitude":%.6f' % rng.normal(40.75, 0.03),
+            '"fare_amount":%.2f' % fare,
+            '"surcharge":%.2f' % surcharge,
+            '"mta_tax":%.2f' % mta_tax,
+        ]
+        if has_tip:
+            parts.append('"tip_amount":%.2f' % tip)
+        if has_toll:
+            parts.append('"tolls_amount":%.2f' % toll)
+        parts.append('"total_amount":%.2f' % total)
+        records.append(("{" + ",".join(parts) + "}").encode("ascii"))
+    return Dataset("taxi", records)

@@ -1,0 +1,163 @@
+"""Synthetic Twitter-style dataset (stand-in for Go et al.'s corpus [4]).
+
+The paper uses a Twitter dataset only to stress the string matchers with
+*diverse natural text* (Table III): short needles like ``user`` and
+``lang`` are almost always spuriously matched by the B = 1 matcher inside
+ordinary English words, while long snake_case needles are safe even at
+B = 1.  This generator reproduces exactly that phenomenon:
+
+* ~75 % full statuses (with ``user`` object, ``created_at``, ``lang``,
+  usually ``location`` and ``favourites_count``),
+* ~17 % minimal statuses (legacy/stripped API shape: id + text only) and
+* ~8 % deletion notices — together the *negative* records for the needle
+  strings;
+* tweet text drawn from a vocabulary whose letter statistics produce
+  B = 1 letter-set runs at realistic rates ("nurses", "causes" … fool
+  ``s1("user")``; "angle", "signal" … fool ``s1("lang")``; "notation",
+  "vocational" … fool ``s1("location")``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .corpus import Dataset
+
+# Common filler words (no relevant letter-set runs).
+_FILLER = (
+    "the and for with this that from have just what when they will "
+    "about going today really think good time people know why now "
+    "work home music video game coffee morning night week year "
+    "happy love life best friend world city team play watch read "
+    "book movie photo food rain sun cold warm fast slow big small"
+).split()
+
+# Words containing a 4-run over {u,s,e,r} but NOT the substring "user".
+_USER_TRAPS = (
+    "sure nurses causes courses houses results measure pressure "
+    "closures ensures leisure treasure surely insures"
+).split()
+
+# Words containing a 4-run over {l,a,n,g} but NOT "lang".
+_LANG_TRAPS = "angle angel signal analog gala annals".split()
+
+# Words containing an 8-run over {l,o,c,a,t,i,n} but NOT "location".
+_LOCATION_TRAPS = "notation intonation vocational notational".split()
+
+_SOURCES = ("web", "android", "iphone", "tweetdeck")
+_LOCATIONS = (
+    "New York", "Berlin", "Tokyo", "London", "Paris", "Sydney",
+    "San Francisco", "Toronto",
+)
+_LANGS = ("en", "de", "es", "fr", "ja")
+_MONTHS = ("Jan", "Feb", "Mar", "Apr", "May", "Jun")
+_DAYS = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+FULL_FRACTION = 0.75
+MINIMAL_FRACTION = 0.17  # remainder are deletion notices
+
+
+def _text(rng, words=None):
+    if words is None:
+        words = int(rng.integers(8, 22))
+    picked = []
+    for _ in range(words):
+        roll = rng.random()
+        if roll < 0.13:
+            # "sure", "measure", "results" ... are genuinely frequent in
+            # informal English; this is what drives Table III's
+            # s1("user") FPR of ~1.0
+            pool = _USER_TRAPS
+        elif roll < 0.148:
+            pool = _LANG_TRAPS
+        elif roll < 0.152:
+            pool = _LOCATION_TRAPS
+        else:
+            pool = _FILLER
+        picked.append(pool[int(rng.integers(0, len(pool)))])
+    return " ".join(picked)
+
+
+def _created_at(rng):
+    day = _DAYS[int(rng.integers(0, len(_DAYS)))]
+    month = _MONTHS[int(rng.integers(0, len(_MONTHS)))]
+    return "%s %s %02d %02d:%02d:%02d +0000 2015" % (
+        day, month, int(rng.integers(1, 29)), int(rng.integers(0, 24)),
+        int(rng.integers(0, 60)), int(rng.integers(0, 60)),
+    )
+
+
+def _screen_name(rng):
+    word = _FILLER[int(rng.integers(0, len(_FILLER)))]
+    return f"{word}{int(rng.integers(1, 9999))}"
+
+
+def generate_twitter(num_records=4000, seed=13,
+                     full_fraction=FULL_FRACTION,
+                     minimal_fraction=MINIMAL_FRACTION):
+    """Generate a Twitter-style dataset; returns a Dataset."""
+    rng = np.random.default_rng(seed)
+    records = []
+    for index in range(num_records):
+        roll = rng.random()
+        tweet_id = 560000000000000000 + int(rng.integers(0, 10**15))
+        if roll < full_fraction:
+            records.append(_full_status(rng, tweet_id))
+        elif roll < full_fraction + minimal_fraction:
+            records.append(_minimal_status(rng, tweet_id))
+        else:
+            records.append(_deletion(rng, tweet_id))
+    return Dataset("twitter", records)
+
+
+def _full_status(rng, tweet_id):
+    user_id = int(rng.integers(10**6, 10**9))
+    parts = [
+        '"created_at":"%s"' % _created_at(rng),
+        '"id":%d' % tweet_id,
+        '"text":"%s"' % _text(rng),
+        '"source":"%s"' % _SOURCES[int(rng.integers(0, len(_SOURCES)))],
+    ]
+    user_parts = [
+        '"id":%d' % user_id,
+        '"name":"%s"' % _screen_name(rng),
+        '"screen_name":"%s"' % _screen_name(rng),
+        '"followers_count":%d' % int(rng.integers(0, 20000)),
+        '"friends_count":%d' % int(rng.integers(0, 3000)),
+        '"favourites_count":%d' % int(rng.integers(0, 5000)),
+        '"statuses_count":%d' % int(rng.integers(1, 80000)),
+    ]
+    if rng.random() < 0.8:
+        location = _LOCATIONS[int(rng.integers(0, len(_LOCATIONS)))]
+        user_parts.insert(3, '"location":"%s"' % location)
+    parts.append('"user":{%s}' % ",".join(user_parts))
+    parts.append('"lang":"%s"' % _LANGS[int(rng.integers(0, len(_LANGS)))])
+    parts.append('"retweet_count":%d' % int(rng.integers(0, 500)))
+    parts.append('"favorited":false')
+    return ("{" + ",".join(parts) + "}").encode("ascii")
+
+
+def _minimal_status(rng, tweet_id):
+    parts = [
+        '"id":%d' % tweet_id,
+        '"text":"%s"' % _text(rng),
+        '"source":"%s"' % _SOURCES[int(rng.integers(0, len(_SOURCES)))],
+        '"retweet_count":%d' % int(rng.integers(0, 50)),
+    ]
+    return ("{" + ",".join(parts) + "}").encode("ascii")
+
+
+def _deletion(rng, tweet_id):
+    # "closures" carries a {u,s,e,r} letter run without containing "user":
+    # deletion notices are negatives that the B=1 matcher still accepts,
+    # reproducing Table III's FPR of 1.000 for s1("user")
+    parts = [
+        '"delete":{"status":{"id":%d,"uid":%d},"reason":"closures",'
+        '"timestamp_ms":"%d"}'
+        % (
+            tweet_id,
+            int(rng.integers(10**6, 10**9)),
+            1420000000000 + int(rng.integers(0, 10**10)),
+        )
+    ]
+    return ("{" + ",".join(parts) + "}").encode("ascii")

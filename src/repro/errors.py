@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class RegexSyntaxError(ReproError):
+    """A regular expression string could not be parsed."""
+
+    def __init__(self, message, pattern, position):
+        super().__init__(f"{message} (pattern={pattern!r}, pos={position})")
+        self.pattern = pattern
+        self.position = position
+
+
+class RangeBoundError(ReproError):
+    """A numeric range bound is malformed or inconsistent (e.g. lo > hi)."""
+
+
+class JSONParseError(ReproError):
+    """Strict JSON parsing failed."""
+
+    def __init__(self, message, position):
+        super().__init__(f"{message} (at byte {position})")
+        self.position = position
+
+
+class JSONPathError(ReproError):
+    """A JSONPath expression is unsupported or malformed."""
+
+
+class QueryError(ReproError):
+    """A filter-expression query is malformed."""
+
+
+class SynthesisError(ReproError):
+    """A circuit could not be built or technology-mapped."""
+
+
+class DesignSpaceError(ReproError):
+    """Design-space enumeration or exploration failed."""

@@ -1,0 +1,34 @@
+"""Evaluation harness: vectorised dataset views, metrics, Pareto, reports."""
+
+from .harness import (
+    DatasetView,
+    evaluate_atom,
+    evaluate_atoms,
+    evaluate_expression,
+)
+from .metrics import (
+    FilterMetrics,
+    false_positive_rate,
+    parse_offload,
+    selectivity,
+)
+from .pareto import DesignPoint, is_pareto_optimal, pareto_front
+from .report import format_fpr, format_notation, render_scatter, render_table
+
+__all__ = [
+    "DatasetView",
+    "evaluate_atom",
+    "evaluate_atoms",
+    "evaluate_expression",
+    "FilterMetrics",
+    "false_positive_rate",
+    "parse_offload",
+    "selectivity",
+    "DesignPoint",
+    "is_pareto_optimal",
+    "pareto_front",
+    "format_fpr",
+    "format_notation",
+    "render_scatter",
+    "render_table",
+]

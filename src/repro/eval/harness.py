@@ -1,0 +1,236 @@
+"""Dataset-scale raw-filter evaluation (the paper's measurement loop).
+
+Evaluation is two-phase:
+
+* **Phase 1** (:class:`DatasetView` + :func:`evaluate_atoms`): every
+  *atom* — a primitive, or a structural group — is evaluated once over
+  the whole dataset into a per-record boolean array.  All heavy lifting
+  is vectorised over the concatenated record stream: window-hit runs for
+  string matchers, lock-step DFA stepping over the dataset's numeric
+  token matrix for number filters, closed-form string-mask/nesting for
+  the structural combiner.
+* **Phase 2** (design-space exploration, :mod:`repro.core.design_space`):
+  each of the ~10⁵ candidate configurations is a pure boolean
+  conjunction of atom arrays, so evaluating its FPR costs a handful of
+  numpy ops.
+
+Records are framed with a trailing newline, which closes any trailing
+numeric token and never matches any needle, so no matcher state leaks
+across records — the precise property the per-lane hardware obtains from
+its ``record_reset``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import composition as comp
+from ..core import string_match
+from ..core.number_filter import TOKEN_CHAR_TABLE, batch_token_accepts
+from ..core.structural import (
+    comma_positions,
+    scope_close_positions,
+    string_mask,
+)
+
+
+class DatasetView:
+    """Precomputed vectorised views over one dataset.
+
+    Built once per dataset and shared by every primitive evaluation: the
+    numeric token matrix in particular is what lets ten different number
+    filters each evaluate in ~max_token_len numpy operations.
+    """
+
+    def __init__(self, dataset):
+        self.dataset = dataset
+        self.stream = dataset.stream
+        self.starts = dataset.starts
+        self.num_records = len(dataset)
+        self._token_view = None
+        self._structural_view = None
+
+    # -- numeric tokens -----------------------------------------------------
+
+    @property
+    def tokens(self):
+        """(matrix, lengths, record_index, end_positions) of all tokens."""
+        if self._token_view is None:
+            self._token_view = self._build_tokens()
+        return self._token_view
+
+    def _build_tokens(self):
+        arr = self.stream
+        is_token = TOKEN_CHAR_TABLE[arr]
+        padded = np.concatenate(([False], is_token, [False]))
+        delta = np.diff(padded.astype(np.int8))
+        starts = np.flatnonzero(delta == 1)
+        ends = np.flatnonzero(delta == -1)
+        lengths = ends - starts
+        max_len = int(lengths.max()) if lengths.size else 1
+        matrix = np.zeros((starts.shape[0], max_len), dtype=np.uint8)
+        for column in range(max_len):
+            active = lengths > column
+            matrix[active, column] = arr[starts[active] + column]
+        record_index = (
+            np.searchsorted(self.starts, starts, side="right") - 1
+        )
+        return matrix, lengths, record_index, ends
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def structure(self):
+        """(masked, close_positions, comma_positions, close_record_index)."""
+        if self._structural_view is None:
+            masked = string_mask(self.stream)
+            closes = scope_close_positions(self.stream, masked)
+            commas = comma_positions(self.stream, masked)
+            close_records = (
+                np.searchsorted(self.starts, closes, side="right") - 1
+            )
+            self._structural_view = (masked, closes, commas, close_records)
+        return self._structural_view
+
+    # -- per-atom caches ---------------------------------------------------------
+
+    def string_fire_positions(self, needle, block):
+        """Sorted global positions where an sB matcher fires."""
+        fires = string_match.fire_array(self.stream, needle, block)
+        return np.flatnonzero(fires)
+
+    def number_fire_info(self, predicate):
+        """(accepted_token_mask) for a NumberPredicate over all tokens."""
+        matrix, lengths, _, _ = self.tokens
+        return batch_token_accepts(predicate.dfa, matrix, lengths)
+
+
+def _record_any(view, positions):
+    """Per-record bool: any of the given global positions in the record."""
+    result = np.zeros(view.num_records, dtype=bool)
+    if len(positions):
+        records = np.searchsorted(view.starts, positions, side="right") - 1
+        result[records] = True
+    return result
+
+
+def evaluate_atom(view, atom, cache):
+    """Per-record boolean array for one atom, with sub-result caching."""
+    key = atom.cache_key()
+    if key in cache:
+        return cache[key]
+    if isinstance(atom, comp.StringPredicate):
+        result = string_match.record_match_array(
+            view.stream, view.starts, atom.needle, atom.block
+        )
+    elif isinstance(atom, comp.NumberPredicate):
+        accepted = _number_accepts(view, atom, cache)
+        _, _, record_index, _ = view.tokens
+        result = np.zeros(view.num_records, dtype=bool)
+        if accepted.any():
+            result[record_index[accepted]] = True
+    elif isinstance(atom, comp.Group):
+        result = _evaluate_group(view, atom, cache)
+    elif isinstance(atom, (comp.And, comp.Or)):
+        children = [
+            evaluate_atom(view, child, cache) for child in atom.children
+        ]
+        combine = np.logical_and if isinstance(atom, comp.And) else (
+            np.logical_or
+        )
+        result = children[0].copy()
+        for child in children[1:]:
+            combine(result, child, out=result)
+    elif isinstance(atom, comp.RegexPredicate):
+        result = np.fromiter(
+            (atom.matches_record(record) for record in view.dataset),
+            dtype=bool,
+            count=view.num_records,
+        )
+    else:
+        raise TypeError(f"cannot evaluate atom {atom!r}")
+    cache[key] = result
+    return result
+
+
+def _number_accepts(view, atom, cache):
+    key = ("tokens-accepted",) + atom.cache_key()
+    if key not in cache:
+        cache[key] = view.number_fire_info(atom)
+    return cache[key]
+
+
+def _string_fires(view, needle, block, cache):
+    key = ("fires", "string", bytes(needle), block)
+    if key not in cache:
+        cache[key] = view.string_fire_positions(needle, block)
+    return cache[key]
+
+
+def _child_fire_positions(view, child, cache):
+    """Sorted global fire positions for a group child primitive."""
+    if isinstance(child, comp.StringPredicate):
+        if child.block == string_match.DFA_TECHNIQUE:
+            # absorbing accept: fires from the first occurrence to record
+            # end; approximate per paper usage (never grouped), fall back
+            # to the exact per-record path
+            raise NotImplementedError(
+                "DFA matchers are not used inside structural groups"
+            )
+        resolved = string_match.resolve_block(child.needle, child.block)
+        return _string_fires(view, child.needle, resolved, cache)
+    if isinstance(child, comp.NumberPredicate):
+        key = ("fires", "number") + child.cache_key()
+        if key not in cache:
+            accepted = _number_accepts(view, child, cache)
+            _, _, _, ends = view.tokens
+            cache[key] = ends[accepted]
+        return cache[key]
+    raise TypeError(f"unsupported group child {child!r}")
+
+
+def _evaluate_group(view, group, cache):
+    _, closes, commas, close_records = view.structure
+    if group.comma_scoped:
+        boundaries = np.union1d(closes, commas)
+        boundary_records = (
+            np.searchsorted(view.starts, boundaries, side="right") - 1
+        )
+    else:
+        boundaries = closes
+        boundary_records = close_records
+    if boundaries.size == 0:
+        return np.zeros(view.num_records, dtype=bool)
+    satisfied = np.ones(boundaries.shape[0], dtype=bool)
+    for child in group.children:
+        try:
+            positions = _child_fire_positions(view, child, cache)
+        except NotImplementedError:
+            return np.fromiter(
+                (group.matches_record(record) for record in view.dataset),
+                dtype=bool,
+                count=view.num_records,
+            )
+        counts = np.searchsorted(positions, boundaries, side="right")
+        in_segment = np.diff(counts, prepend=0) > 0
+        satisfied &= in_segment
+    result = np.zeros(view.num_records, dtype=bool)
+    if satisfied.any():
+        result[boundary_records[satisfied]] = True
+    return result
+
+
+def evaluate_atoms(view, atoms):
+    """Evaluate many atoms, sharing one cache; returns {cache_key: array}."""
+    cache = {}
+    results = {}
+    for atom in atoms:
+        results[atom.cache_key()] = evaluate_atom(view, atom, cache)
+    return results
+
+
+def evaluate_expression(view, expr, cache=None):
+    """Per-record accept array for a full raw-filter expression."""
+    if cache is None:
+        cache = {}
+    return evaluate_atom(view, expr, cache)

@@ -1,0 +1,100 @@
+"""Accuracy metrics for raw filters (paper §I / §IV definitions).
+
+A raw filter may accept records the query rejects (false positives — they
+only cost parser time downstream) but must never reject records the query
+accepts (false negatives — they would corrupt results).
+
+* **FPR** = FP / (FP + TN): of the records the oracle rejects, the
+  fraction the raw filter lets through.  0.0 = the filter is as selective
+  as the query itself; 1.0 = the filter never drops a negative record.
+* **filtered fraction** = dropped / total: how much of the stream the
+  parser never sees (the paper's headline "up to 94.3 % of the raw data
+  can be filtered").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FilterMetrics:
+    """Confusion-matrix summary of a raw filter against the oracle."""
+
+    __slots__ = ("tp", "fp", "tn", "fn", "total")
+
+    def __init__(self, accepted, truth):
+        accepted = np.asarray(accepted, dtype=bool)
+        truth = np.asarray(truth, dtype=bool)
+        if accepted.shape != truth.shape:
+            raise ValueError("accepted/truth shape mismatch")
+        self.tp = int(np.count_nonzero(accepted & truth))
+        self.fp = int(np.count_nonzero(accepted & ~truth))
+        self.tn = int(np.count_nonzero(~accepted & ~truth))
+        self.fn = int(np.count_nonzero(~accepted & truth))
+        self.total = int(truth.shape[0])
+
+    @property
+    def fpr(self):
+        """False-positive rate FP / (FP + TN); 0.0 when no negatives."""
+        negatives = self.fp + self.tn
+        if negatives == 0:
+            return 0.0
+        return self.fp / negatives
+
+    @property
+    def filtered_fraction(self):
+        """Fraction of the stream dropped before the parser."""
+        if self.total == 0:
+            return 0.0
+        return (self.tn + self.fn) / self.total
+
+    @property
+    def pass_fraction(self):
+        return 1.0 - self.filtered_fraction
+
+    @property
+    def has_false_negatives(self):
+        """Must always be False for a sound raw filter."""
+        return self.fn > 0
+
+    def as_dict(self):
+        return {
+            "tp": self.tp,
+            "fp": self.fp,
+            "tn": self.tn,
+            "fn": self.fn,
+            "fpr": self.fpr,
+            "filtered_fraction": self.filtered_fraction,
+        }
+
+    def __repr__(self):
+        return (
+            f"FilterMetrics(fpr={self.fpr:.3f}, "
+            f"filtered={self.filtered_fraction:.3f}, fn={self.fn})"
+        )
+
+
+def false_positive_rate(accepted, truth):
+    """Shorthand for ``FilterMetrics(accepted, truth).fpr``."""
+    return FilterMetrics(accepted, truth).fpr
+
+
+def selectivity(truth):
+    """Fraction of records the query itself accepts (Table VIII)."""
+    truth = np.asarray(truth, dtype=bool)
+    if truth.shape[0] == 0:
+        return 0.0
+    return float(truth.mean())
+
+
+def parse_offload(metrics, parse_cost_per_record=1.0, filter_cost=0.0):
+    """Estimated parser-work saving from raw filtering.
+
+    With unit parse cost per record, the CPU now parses only accepted
+    records; returns the fraction of parse work avoided.
+    """
+    if metrics.total == 0:
+        return 0.0
+    parsed_after = (metrics.tp + metrics.fp) * parse_cost_per_record
+    parsed_before = metrics.total * parse_cost_per_record
+    return 1.0 - (parsed_after + filter_cost) / parsed_before

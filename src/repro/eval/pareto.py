@@ -1,0 +1,56 @@
+"""Pareto-front utilities for the FPR/LUT trade-off (Tables V-VII).
+
+A design point dominates another when it is no worse in both objectives
+(FPR and LUTs, both minimised) and strictly better in at least one.
+"""
+
+from __future__ import annotations
+
+
+class DesignPoint:
+    """One evaluated raw-filter configuration."""
+
+    __slots__ = ("expr", "fpr", "luts", "meta")
+
+    def __init__(self, expr, fpr, luts, meta=None):
+        self.expr = expr
+        self.fpr = fpr
+        self.luts = luts
+        self.meta = meta or {}
+
+    def dominates(self, other, epsilon=0.0):
+        no_worse = (
+            self.fpr <= other.fpr + epsilon and self.luts <= other.luts
+        )
+        strictly_better = (
+            self.fpr < other.fpr - epsilon or self.luts < other.luts
+        )
+        return no_worse and strictly_better
+
+    def __repr__(self):
+        label = self.expr.notation() if self.expr is not None else "?"
+        return f"DesignPoint(fpr={self.fpr:.3f}, luts={self.luts}, {label})"
+
+
+def pareto_front(points, epsilon=0.0):
+    """Non-dominated subset, sorted by descending FPR (paper table order).
+
+    ``epsilon`` merges points whose FPRs differ by less than measurement
+    noise so the front is not cluttered by ties.
+    """
+    ordered = sorted(points, key=lambda p: (p.luts, p.fpr))
+    front = []
+    best_fpr = None
+    for point in ordered:
+        if best_fpr is None or point.fpr < best_fpr - epsilon:
+            front.append(point)
+            best_fpr = point.fpr
+    front.sort(key=lambda p: (-p.fpr, p.luts))
+    return front
+
+
+def is_pareto_optimal(point, points, epsilon=0.0):
+    return not any(
+        other is not point and other.dominates(point, epsilon)
+        for other in points
+    )

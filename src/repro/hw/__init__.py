@@ -1,0 +1,27 @@
+"""Hardware substrate: AIG, LUT technology mapping, RTL, gate simulation.
+
+This subpackage plays the role of the synthesis toolchain in the paper's
+flow: primitive specifications become boolean networks (AIGs), which are
+technology-mapped onto 6-input LUTs to obtain the resource numbers, and
+cycle-simulated to verify gate-level behaviour against the behavioural
+models in :mod:`repro.core`.
+"""
+
+from .aig import AIG, FALSE, TRUE
+from .gatesim import CycleSimulator
+from .lutmap import LUTNetwork, lut_count, map_to_luts, verify_mapping
+from .rtl import BitVec, Circuit, Register
+
+__all__ = [
+    "AIG",
+    "FALSE",
+    "TRUE",
+    "CycleSimulator",
+    "LUTNetwork",
+    "lut_count",
+    "map_to_luts",
+    "verify_mapping",
+    "BitVec",
+    "Circuit",
+    "Register",
+]

@@ -1,0 +1,310 @@
+"""And-Inverter Graphs (AIGs) with structural hashing.
+
+The AIG is the boolean-network representation every primitive circuit is
+built on.  Literals are encoded the usual way: ``literal = 2 * node + sign``
+where ``sign=1`` means complemented.  Node 0 is the constant FALSE, so
+``FALSE = 0`` and ``TRUE = 1`` as literals.
+
+Structural hashing plus the standard two-level simplification rules mean
+that shared logic (e.g. the many byte comparators of a substring matcher
+that all look at the same 8 input bits) is built only once — this sharing
+is precisely why the paper's substring matcher maps to so few LUTs, and we
+reproduce the effect mechanically rather than assuming it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SynthesisError
+
+FALSE = 0
+TRUE = 1
+
+
+def lit_of(node, sign=0):
+    return 2 * node + sign
+
+
+def node_of(literal):
+    return literal >> 1
+
+def sign_of(literal):
+    return literal & 1
+
+
+class AIG:
+    """A combinational and-inverter graph.
+
+    Node storage is flat: ``fanin0``/``fanin1`` hold the two input literals
+    of each AND node; primary inputs and the constant have sentinel fanins.
+    """
+
+    _PI_SENTINEL = -1
+
+    def __init__(self):
+        # node 0 is constant false
+        self.fanin0 = [self._PI_SENTINEL]
+        self.fanin1 = [self._PI_SENTINEL]
+        self.inputs = []  # node indices of primary inputs
+        self.input_names = {}
+        self._strash = {}
+
+    # -- construction ------------------------------------------------------
+
+    @property
+    def num_nodes(self):
+        return len(self.fanin0)
+
+    @property
+    def num_ands(self):
+        return self.num_nodes - 1 - len(self.inputs)
+
+    def add_input(self, name=None):
+        """Create a primary input; returns its (positive) literal."""
+        node = self.num_nodes
+        self.fanin0.append(self._PI_SENTINEL)
+        self.fanin1.append(self._PI_SENTINEL)
+        self.inputs.append(node)
+        if name is not None:
+            self.input_names[node] = name
+        return lit_of(node)
+
+    def is_input(self, node):
+        return self.fanin0[node] == self._PI_SENTINEL and node != 0
+
+    def is_const(self, node):
+        return node == 0
+
+    def land(self, a, b):
+        """AND of two literals, with simplification and strashing."""
+        if a > b:
+            a, b = b, a
+        # constant / trivial rules
+        if a == FALSE:
+            return FALSE
+        if a == TRUE:
+            return b
+        if a == b:
+            return a
+        if a ^ b == 1:  # a AND NOT a
+            return FALSE
+        key = (a, b)
+        cached = self._strash.get(key)
+        if cached is not None:
+            return cached
+        node = self.num_nodes
+        self.fanin0.append(a)
+        self.fanin1.append(b)
+        literal = lit_of(node)
+        self._strash[key] = literal
+        return literal
+
+    @staticmethod
+    def lnot(a):
+        return a ^ 1
+
+    def lor(self, a, b):
+        return self.lnot(self.land(self.lnot(a), self.lnot(b)))
+
+    def lxor(self, a, b):
+        return self.lor(self.land(a, self.lnot(b)), self.land(self.lnot(a), b))
+
+    def lxnor(self, a, b):
+        return self.lnot(self.lxor(a, b))
+
+    def mux(self, sel, if_true, if_false):
+        return self.lor(self.land(sel, if_true),
+                        self.land(self.lnot(sel), if_false))
+
+    def implies(self, a, b):
+        return self.lor(self.lnot(a), b)
+
+    def and_reduce(self, literals):
+        """Balanced AND tree over an iterable of literals."""
+        return self._reduce(list(literals), self.land, TRUE)
+
+    def or_reduce(self, literals):
+        """Balanced OR tree over an iterable of literals."""
+        return self._reduce(list(literals), self.lor, FALSE)
+
+    def xor_reduce(self, literals):
+        return self._reduce(list(literals), self.lxor, FALSE)
+
+    def _reduce(self, items, op, identity):
+        if not items:
+            return identity
+        while len(items) > 1:
+            nxt = []
+            for i in range(0, len(items) - 1, 2):
+                nxt.append(op(items[i], items[i + 1]))
+            if len(items) % 2:
+                nxt.append(items[-1])
+            items = nxt
+        return items[0]
+
+    # -- analysis ----------------------------------------------------------
+
+    def topological_nodes(self):
+        """All node indices in topological (creation) order.
+
+        Construction order is already topological because ``land`` only
+        references existing nodes.
+        """
+        return range(self.num_nodes)
+
+    def cone_nodes(self, roots):
+        """AND nodes in the transitive fanin of the given root literals."""
+        seen = set()
+        stack = [node_of(r) for r in roots]
+        cone = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if self.is_input(node) or self.is_const(node):
+                continue
+            cone.add(node)
+            stack.append(node_of(self.fanin0[node]))
+            stack.append(node_of(self.fanin1[node]))
+        return cone
+
+    def levels(self, roots=None):
+        """Logic depth per node (PIs/const at level 0)."""
+        level = np.zeros(self.num_nodes, dtype=np.int64)
+        for node in range(1, self.num_nodes):
+            if self.is_input(node):
+                continue
+            level[node] = 1 + max(
+                level[node_of(self.fanin0[node])],
+                level[node_of(self.fanin1[node])],
+            )
+        return level
+
+    # -- simulation ----------------------------------------------------------
+
+    def simulate(self, input_values):
+        """Bit-parallel simulation.
+
+        Args:
+            input_values: dict mapping PI node -> uint64 word (64 patterns
+                in parallel) or bool/int.
+        Returns:
+            numpy uint64 array ``values`` indexed by node; evaluate a
+            literal with :func:`literal_value`.
+        """
+        values = np.zeros(self.num_nodes, dtype=np.uint64)
+        all_ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+        for node in self.inputs:
+            raw = input_values.get(node, 0)
+            if raw is True:
+                raw = all_ones
+            elif raw is False:
+                raw = 0
+            values[node] = np.uint64(raw)
+        fanin0 = self.fanin0
+        fanin1 = self.fanin1
+        for node in range(1, self.num_nodes):
+            f0 = fanin0[node]
+            if f0 == self._PI_SENTINEL:
+                continue
+            f1 = fanin1[node]
+            a = values[f0 >> 1]
+            if f0 & 1:
+                a = ~a
+            b = values[f1 >> 1]
+            if f1 & 1:
+                b = ~b
+            values[node] = a & b
+        return values
+
+    def literal_value(self, values, literal):
+        value = values[node_of(literal)]
+        if sign_of(literal):
+            value = ~value
+        return value
+
+    def eval_literals(self, literals, input_values):
+        """Evaluate the given literals for one assignment of PI booleans."""
+        packed = {
+            node: (np.uint64(0xFFFFFFFFFFFFFFFF) if value else np.uint64(0))
+            for node, value in input_values.items()
+        }
+        values = self.simulate(packed)
+        return [bool(self.literal_value(values, lit) & np.uint64(1))
+                for lit in literals]
+
+    # -- truth tables (for LUT extraction) -----------------------------------
+
+    def cut_truth_table(self, root_literal, leaves):
+        """Truth table of ``root_literal`` as a function of ``leaves``.
+
+        ``leaves`` is an ordered list of node indices (<= 16 supported);
+        returns an int whose bit ``i`` is the output for input assignment
+        ``i`` (leaf 0 = least significant selector bit).
+        """
+        if len(leaves) > 16:
+            raise SynthesisError("cut too wide for truth-table extraction")
+        n = len(leaves)
+        rows = 1 << n
+        # evaluate all rows bit-parallel, 64 rows per word
+        leaf_index = {leaf: i for i, leaf in enumerate(leaves)}
+        table = 0
+        for base in range(0, rows, 64):
+            count = min(64, rows - base)
+            inputs = {}
+            for leaf, position in leaf_index.items():
+                word = 0
+                for row in range(count):
+                    if (base + row) >> position & 1:
+                        word |= 1 << row
+                inputs[leaf] = np.uint64(word)
+            values = self._simulate_cone(root_literal, leaves, inputs)
+            word = int(values)
+            for row in range(count):
+                if word >> row & 1:
+                    table |= 1 << (base + row)
+        return table
+
+    def _simulate_cone(self, root_literal, leaves, inputs):
+        """Simulate only the cone of ``root_literal`` treating leaves as PIs."""
+        root = node_of(root_literal)
+        leaf_set = set(leaves)
+        order = []
+        seen = set(leaf_set) | {0}
+        stack = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in seen:
+                continue
+            if expanded:
+                seen.add(node)
+                order.append(node)
+                continue
+            stack.append((node, True))
+            if not (self.is_input(node) or self.is_const(node)):
+                stack.append((node_of(self.fanin0[node]), False))
+                stack.append((node_of(self.fanin1[node]), False))
+        values = {0: np.uint64(0)}
+        for leaf in leaves:
+            values[leaf] = inputs.get(leaf, np.uint64(0))
+        for node in order:
+            if self.is_input(node):
+                # an original PI inside the cone must be a declared leaf
+                raise SynthesisError(
+                    f"cone of literal {root_literal} escapes its leaves"
+                )
+            f0 = self.fanin0[node]
+            f1 = self.fanin1[node]
+            a = values[node_of(f0)]
+            if sign_of(f0):
+                a = ~a
+            b = values[node_of(f1)]
+            if sign_of(f1):
+                b = ~b
+            values[node] = a & b
+        result = values[root]
+        if sign_of(root_literal):
+            result = ~result
+        return result

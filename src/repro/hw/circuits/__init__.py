@@ -1,0 +1,37 @@
+"""Synthesizable circuit generators for every raw-filter primitive.
+
+Each generator returns a :class:`repro.hw.rtl.Circuit` that processes one
+byte per cycle.  The standard port convention is:
+
+* input  ``byte``         — 8-bit input character (LSB first)
+* input  ``record_reset`` — pulse to clear all per-record state
+* output ``fire``         — combinational "primitive matched this cycle"
+* output ``match``        — sticky per-record accept flag
+
+LUT counts in the paper's tables correspond to ``circuit.lut_count()``.
+"""
+
+from .dfa_circuit import dfa_state_machine, number_filter_circuit
+from .string_circuits import (
+    dfa_string_matcher_circuit,
+    full_matcher_circuit,
+    substring_matcher_circuit,
+)
+from .structural_circuit import (
+    StructuralSignals,
+    add_structural_tracker,
+    structural_group,
+)
+from .compose_circuit import build_raw_filter_circuit
+
+__all__ = [
+    "dfa_state_machine",
+    "number_filter_circuit",
+    "dfa_string_matcher_circuit",
+    "full_matcher_circuit",
+    "substring_matcher_circuit",
+    "StructuralSignals",
+    "add_structural_tracker",
+    "structural_group",
+    "build_raw_filter_circuit",
+]

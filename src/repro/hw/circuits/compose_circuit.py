@@ -1,0 +1,127 @@
+"""Lower a raw-filter expression tree to one synthesizable circuit.
+
+:func:`build_raw_filter_circuit` walks a :mod:`repro.core.composition`
+tree and instantiates every primitive into a single shared circuit:
+
+* one ``byte`` input feeds all primitives (one byte per cycle);
+* the structural tracker (string mask + nesting counter) is built once
+  and shared by all groups, matching Fig. 4's per-lane organisation;
+* the top of the tree is a boolean combination of sticky per-record
+  flags, sampled by the host at end of record via the ``accept`` output.
+
+``circuit.lut_count()`` of the result is the "Total LUTs" axis of Fig. 3
+and the LUT column of Tables V-VII.
+"""
+
+from __future__ import annotations
+
+from ...errors import SynthesisError
+from ..rtl import Circuit
+from .dfa_circuit import add_number_filter
+from .string_circuits import (
+    add_dfa_string_matcher,
+    add_full_matcher,
+    add_substring_matcher,
+)
+from .structural_circuit import add_structural_tracker, structural_group
+
+
+def _contains_group(expr):
+    from ...core.composition import Group
+
+    if isinstance(expr, Group):
+        return True
+    children = getattr(expr, "children", ())
+    return any(_contains_group(child) for child in children)
+
+
+def build_raw_filter_circuit(expr, name="raw_filter"):
+    """Build the complete per-lane raw-filter circuit for ``expr``.
+
+    Returns a :class:`~repro.hw.rtl.Circuit` with ports ``byte``,
+    ``record_reset`` and output ``accept`` (the sticky record-level match,
+    to be sampled after the record's final byte).
+    """
+    from ...core import composition as comp
+
+    circuit = Circuit(name)
+    byte = circuit.add_input_vector("byte", 8)
+    record_reset = circuit.add_input("record_reset")
+
+    signals = None
+    if _contains_group(expr):
+        signals = add_structural_tracker(circuit, byte, record_reset)
+
+    counters = {"string": 0, "number": 0, "regex": 0, "group": 0}
+
+    def add_primitive(node):
+        """Instantiate one primitive; returns (fire, sticky_match)."""
+        if isinstance(node, comp.StringPredicate):
+            index = counters["string"]
+            counters["string"] += 1
+            label = f"str{index}"
+            from ...core.string_match import DFA_TECHNIQUE, FULL
+
+            if node.block == DFA_TECHNIQUE:
+                return add_dfa_string_matcher(
+                    circuit, byte, record_reset, node.needle, name=label
+                )
+            if node.block == FULL:
+                return add_full_matcher(
+                    circuit, byte, record_reset, node.needle, name=label
+                )
+            return add_substring_matcher(
+                circuit, byte, record_reset, node.needle, node.block,
+                name=label,
+            )
+        if isinstance(node, comp.NumberPredicate):
+            index = counters["number"]
+            counters["number"] += 1
+            return add_number_filter(
+                circuit, byte, record_reset, node.dfa, name=f"num{index}"
+            )
+        if isinstance(node, comp.RegexPredicate):
+            index = counters["regex"]
+            counters["regex"] += 1
+            if node.token_mode == "number":
+                return add_number_filter(
+                    circuit, byte, record_reset, node.dfa,
+                    name=f"re{index}",
+                )
+            from .dfa_circuit import dfa_state_machine
+
+            _, _, accepting_after = dfa_state_machine(
+                circuit, node.dfa, byte, reset=record_reset,
+                name=f"re{index}",
+            )
+            return accepting_after, accepting_after
+        raise SynthesisError(f"unknown primitive {node!r}")
+
+    def lower(node):
+        """Returns the record-level (sticky) literal for a subtree."""
+        if isinstance(node, comp.Primitive):
+            _, match = add_primitive(node)
+            return match
+        if isinstance(node, comp.Group):
+            index = counters["group"]
+            counters["group"] += 1
+            fires = [add_primitive(child)[0] for child in node.children]
+            return structural_group(
+                circuit,
+                signals,
+                fires,
+                record_reset=record_reset,
+                name=f"grp{index}",
+                comma_scoped=node.comma_scoped,
+            )
+        if isinstance(node, comp.And):
+            literals = [lower(child) for child in node.children]
+            return circuit.aig.and_reduce(literals)
+        if isinstance(node, comp.Or):
+            literals = [lower(child) for child in node.children]
+            return circuit.aig.or_reduce(literals)
+        raise SynthesisError(f"unknown raw-filter node {node!r}")
+
+    accept = lower(expr)
+    circuit.add_output("accept", accept)
+    return circuit

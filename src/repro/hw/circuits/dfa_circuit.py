@@ -1,0 +1,232 @@
+"""DFA-to-circuit synthesis (paper §III-B step 2, and string technique i).
+
+:func:`dfa_state_machine` lowers any :class:`repro.regex.dfa.DFA` into a
+binary-encoded state register plus next-state logic.  Transition edges are
+grouped by (state, target) into character classes, each decoded once from
+the 8-bit input via range comparators; structural hashing in the AIG then
+shares decoder logic across states exactly the way a synthesis tool would.
+
+:func:`number_filter_circuit` wraps a value-range DFA with the paper's
+token framing: the automaton advances on numeric-token characters
+(digits, ``+ - . e E``) and is *evaluated and reset* on every non-numeric
+character — "it has to mark the end of the number".
+"""
+
+from __future__ import annotations
+
+from ...errors import SynthesisError
+from ...regex.charclass import CharClass
+from ..aig import FALSE, TRUE
+from ..rtl import Circuit
+
+
+_ENCODING_CACHE = {}
+
+
+def _dfa_cache_key(dfa):
+    return (dfa.table.tobytes(), dfa.accepting.tobytes(), dfa.start)
+
+
+def choose_encoding(dfa):
+    """Pick the cheaper state encoding by trial synthesis (cached).
+
+    Mirrors what a synthesis tool's FSM extraction does: try binary and
+    one-hot, keep whichever maps to fewer LUTs.
+    """
+    key = _dfa_cache_key(dfa)
+    cached = _ENCODING_CACHE.get(key)
+    if cached is not None:
+        return cached
+    counts = {}
+    for encoding in ("binary", "onehot"):
+        scratch = Circuit("encoding_probe")
+        byte = scratch.add_input_vector("byte", 8)
+        reset = scratch.add_input("reset")
+        _, accepting, accepting_after = dfa_state_machine(
+            scratch, dfa, byte, reset=reset, encoding=encoding
+        )
+        scratch.add_output("accepting", accepting)
+        scratch.add_output("accepting_after", accepting_after)
+        counts[encoding] = scratch.lut_count()
+    chosen = min(counts, key=counts.get)
+    _ENCODING_CACHE[key] = chosen
+    return chosen
+
+
+def dfa_state_machine(circuit, dfa, byte, enable=None, reset=FALSE,
+                      name="dfa", encoding="auto"):
+    """Instantiate a DFA as a synchronous state machine inside ``circuit``.
+
+    Args:
+        circuit: the :class:`~repro.hw.rtl.Circuit` to build into.
+        dfa: a complete :class:`~repro.regex.dfa.DFA`.
+        byte: 8-bit input BitVec.
+        enable: literal; when false the state holds (default: always on).
+        reset: literal; when true the state returns to the start state
+            (dominates ``enable``).
+        name: prefix for the state registers.
+        encoding: ``"binary"``, ``"onehot"``, or ``"auto"`` (trial-map
+            both and keep the cheaper one, like FSM re-encoding in a real
+            synthesis flow).
+    Returns:
+        (state_bits, accepting_literal, accepting_after) — the current
+        state registers, a literal true while the register holds an
+        accepting state (Moore), and a literal true when the state *after
+        consuming this cycle's byte* is accepting (Mealy; ignores reset).
+    """
+    dfa = dfa.hardware_reordered()
+    if encoding == "auto":
+        encoding = choose_encoding(dfa)
+    if encoding == "binary":
+        return _binary_state_machine(circuit, dfa, byte, enable, reset, name)
+    if encoding == "onehot":
+        return _onehot_state_machine(circuit, dfa, byte, enable, reset, name)
+    raise SynthesisError(f"unknown FSM encoding {encoding!r}")
+
+
+def _binary_state_machine(circuit, dfa, byte, enable, reset, name):
+    """Binary (logarithmic) state encoding, as §III-A describes for DFAs.
+
+    State code 0 is the most-targeted state (see
+    :meth:`~repro.regex.dfa.DFA.hardware_reordered`), so the default
+    transition contributes no next-state logic.
+    """
+    aig = circuit.aig
+    num_states = dfa.num_states
+    width = max(1, (num_states - 1).bit_length())
+    state = circuit.add_register_vector(f"{name}.state", width,
+                                        init=dfa.start)
+
+    select = [state.eq_const(code) for code in range(num_states)]
+
+    edges = dfa.transition_classes()
+    next_bits = []
+    for bit in range(width):
+        terms = []
+        for source in range(num_states):
+            for target, charclass in edges[source].items():
+                if target >> bit & 1:
+                    decoded = circuit.byte_in_class(byte, charclass)
+                    terms.append(aig.land(select[source], decoded))
+        next_bits.append(aig.or_reduce(terms))
+    stepped = circuit.new_vector(next_bits)
+
+    computed = stepped
+    if enable is not None:
+        computed = state.mux(enable, computed)
+    start_vec = circuit.constant_vector(width, dfa.start)
+    computed = computed.mux(reset, start_vec)
+    circuit.set_next_vector(state, computed)
+
+    accepting_states = [code for code in range(num_states)
+                        if dfa.is_accepting(code)]
+    accepting = aig.or_reduce([select[code] for code in accepting_states])
+    accepting_after = aig.or_reduce(
+        [stepped.eq_const(code) for code in accepting_states]
+    )
+    return state.bits, accepting, accepting_after
+
+
+def _onehot_state_machine(circuit, dfa, byte, enable, reset, name):
+    """One-hot state encoding with an implicit (one-cold) default state.
+
+    State 0 — the most-targeted state — has no register: it is active when
+    no other state bit is set, so the many transitions into it cost
+    nothing, and each remaining state's next function is a small OR of
+    (source AND class) terms.
+    """
+    aig = circuit.aig
+    num_states = dfa.num_states
+
+    registers = {
+        code: circuit.add_register(f"{name}.s{code}",
+                                   init=(code == dfa.start))
+        for code in range(1, num_states)
+    }
+    others = list(registers.values())
+    select = {0: aig.lnot(aig.or_reduce(others))}
+    select.update(registers)
+
+    edges = dfa.transition_classes()
+    incoming = {code: [] for code in range(1, num_states)}
+    for source in range(num_states):
+        for target, charclass in edges[source].items():
+            if target == 0:
+                continue
+            decoded = circuit.byte_in_class(byte, charclass)
+            incoming[target].append(aig.land(select[source], decoded))
+
+    stepped = {
+        code: aig.or_reduce(terms) for code, terms in incoming.items()
+    }
+    for code in range(1, num_states):
+        computed = stepped[code]
+        if enable is not None:
+            computed = aig.mux(enable, computed, registers[code])
+        is_start = TRUE if code == dfa.start else FALSE
+        computed = aig.mux(reset, is_start, computed)
+        circuit.set_next(registers[code], computed)
+
+    accepting_states = [code for code in range(num_states)
+                        if dfa.is_accepting(code)]
+    accepting = aig.or_reduce(
+        [select[code] for code in accepting_states]
+    )
+    stepped[0] = aig.lnot(
+        aig.or_reduce([stepped[code] for code in range(1, num_states)])
+    )
+    accepting_after = aig.or_reduce(
+        [stepped[code] for code in accepting_states]
+    )
+    state_bits = [registers[code] for code in range(1, num_states)]
+    return state_bits, accepting, accepting_after
+
+
+def add_number_filter(circuit, byte, record_reset, dfa, name="number"):
+    """Build a value-range filter around a number DFA (paper §III-B).
+
+    Returns ``(fire, match)``.  Each cycle:
+
+    * numeric-token byte → the DFA advances;
+    * any other byte     → the token (if any) has just ended: ``fire`` if
+      the DFA rests in an accepting state, then the DFA resets to start.
+
+    The record must be terminated by a non-numeric byte (the harness and
+    the composed filter frame records with ``\\n``) so a trailing number
+    is still evaluated.
+    """
+    if dfa.is_accepting(dfa.start):
+        raise SynthesisError(
+            "number DFA accepts the empty token; range regexes never do"
+        )
+    aig = circuit.aig
+    is_token_char = circuit.byte_in_class(
+        byte, CharClass.number_token_chars()
+    )
+    delimiter = aig.lnot(is_token_char)
+
+    # advance while inside a token; reset to start on any delimiter.
+    # No hold/enable path is needed: the delimiter cycles are exactly the
+    # cycles the reset covers.
+    _, accepting, _ = dfa_state_machine(
+        circuit,
+        dfa,
+        byte,
+        reset=aig.lor(delimiter, record_reset),
+        name=name,
+    )
+
+    fire = aig.land(delimiter, accepting)
+    match = circuit.sticky(f"{name}.match", fire, record_reset)
+    return fire, match
+
+
+def number_filter_circuit(dfa, name="number"):
+    """Standalone value-range raw filter circuit (standard ports)."""
+    circuit = Circuit(f"number_filter<{name}>")
+    byte = circuit.add_input_vector("byte", 8)
+    record_reset = circuit.add_input("record_reset")
+    fire, match = add_number_filter(circuit, byte, record_reset, dfa, name)
+    circuit.add_output("fire", fire)
+    circuit.add_output("match", match)
+    return circuit

@@ -1,0 +1,167 @@
+"""String-matcher circuits (paper §III-A, Fig. 1).
+
+Three techniques are generated, matching the paper's (i)/(ii)/(iii):
+
+* :func:`dfa_string_matcher_circuit` — technique (i): a DFA that accepts
+  ``.*needle.*`` (the classic KMP automaton with an absorbing accept),
+  binary state encoding, one character per cycle;
+* :func:`full_matcher_circuit` — technique (ii): buffer the last N bytes
+  and compare against the whole needle every cycle;
+* :func:`substring_matcher_circuit` — technique (iii): buffer only the
+  last B bytes, compare against *all* B-grams of the needle, OR-reduce,
+  and count consecutive hits; fire at ``N - B + 1`` (Fig. 1).
+
+Each matcher exists in two forms: ``add_*`` builds the logic into an
+existing circuit (used when composing a full raw filter that shares one
+byte input) and the ``*_circuit`` wrappers produce a standalone circuit
+with the standard ``byte``/``record_reset``/``fire``/``match`` ports.
+"""
+
+from __future__ import annotations
+
+from ...errors import SynthesisError
+from ...regex.ast import concat, lit, star
+from ...regex.charclass import CharClass
+from ...regex.dfa import DFA
+from ..rtl import Circuit
+from .dfa_circuit import dfa_state_machine
+
+
+def _as_bytes(needle):
+    if isinstance(needle, str):
+        return needle.encode("utf-8")
+    return bytes(needle)
+
+
+def ngrams(needle, block):
+    """All B-grams of the needle, in order (duplicates preserved).
+
+    Mirrors the paper's Table IV: ``ngrams("temperature", 2)`` yields
+    ``b'te', b'em', b'mp', ...``.
+    """
+    data = _as_bytes(needle)
+    if not 1 <= block <= len(data):
+        raise SynthesisError(
+            f"block length {block} invalid for needle of {len(data)} bytes"
+        )
+    return [data[i : i + block] for i in range(len(data) - block + 1)]
+
+
+def _bit_length(value):
+    return max(1, value.bit_length())
+
+
+def add_substring_matcher(circuit, byte, record_reset, needle, block,
+                          name=None):
+    """Build technique (iii) into ``circuit``; returns ``(fire, match)``.
+
+    The window holds the current byte plus the previous ``block - 1``
+    bytes.  Every cycle it is compared against every B-gram of the needle;
+    the OR of the comparators drives a saturating run counter which fires
+    once ``N - B + 1`` consecutive window hits have been seen (Fig. 1
+    shows the counter/register arrangement for B = 2).
+    """
+    data = _as_bytes(needle)
+    block = int(block)
+    grams = sorted(set(ngrams(data, block)))
+    threshold = len(data) - block + 1
+    if name is None:
+        name = f"s{block}_{data.decode('latin1')}"
+    aig = circuit.aig
+
+    # window[0] = current byte, window[age] = byte ``age`` cycles ago
+    window = [byte]
+    previous = byte
+    for age in range(1, block):
+        stage = circuit.add_register_vector(f"{name}.buf{age}", 8)
+        circuit.set_next_vector(stage, previous)
+        window.append(stage)
+        previous = stage
+
+    hits = []
+    for gram in grams:
+        terms = []
+        for age, expected in enumerate(reversed(gram)):
+            terms.append(window[age].eq_const(expected))
+        hits.append(aig.and_reduce(terms))
+    window_hit = aig.or_reduce(hits)
+
+    counter_width = _bit_length(threshold)
+    counter = circuit.add_register_vector(f"{name}.run", counter_width)
+    zero = circuit.constant_vector(counter_width, 0)
+    at_threshold = counter.eq_const(threshold)
+    # run length including this cycle, saturated at the threshold
+    capped_increment = counter.increment().mux(at_threshold, counter)
+    current_run = zero.mux(window_hit, capped_increment)
+    fire = current_run.eq_const(threshold)
+    next_counter = current_run.mux(record_reset, zero)
+    circuit.set_next_vector(counter, next_counter)
+    match = circuit.sticky(f"{name}.match", fire, record_reset)
+    return fire, match
+
+
+def add_full_matcher(circuit, byte, record_reset, needle, name=None):
+    """Technique (ii): full N-byte comparison — ``B = N`` special case."""
+    data = _as_bytes(needle)
+    if name is None:
+        name = f"full_{data.decode('latin1')}"
+    return add_substring_matcher(
+        circuit, byte, record_reset, data, len(data), name=name
+    )
+
+
+def add_dfa_string_matcher(circuit, byte, record_reset, needle, name=None):
+    """Technique (i): DFA accepting any stream containing the needle.
+
+    The minimal DFA of ``.* needle .*`` is the KMP automaton of the needle
+    (N + 1 states, absorbing accept), synthesised with binary state
+    encoding.  The absorbing accept makes the output naturally sticky, so
+    ``fire`` and ``match`` coincide.
+    """
+    data = _as_bytes(needle)
+    if name is None:
+        name = f"dfa_{data.decode('latin1')}"
+    pattern = concat(
+        star(lit(CharClass.full())),
+        lit(data.decode("latin1")),
+        star(lit(CharClass.full())),
+    )
+    dfa = DFA.from_regex(pattern)
+    _, _, accepting_after = dfa_state_machine(
+        circuit, dfa, byte, reset=record_reset, name=name
+    )
+    return accepting_after, accepting_after
+
+
+def substring_matcher_circuit(needle, block):
+    """Standalone circuit for technique (iii)."""
+    data = _as_bytes(needle)
+    circuit = Circuit(f"substring<{data.decode('latin1')!r},B={block}>")
+    byte = circuit.add_input_vector("byte", 8)
+    record_reset = circuit.add_input("record_reset")
+    fire, match = add_substring_matcher(
+        circuit, byte, record_reset, data, block
+    )
+    circuit.add_output("fire", fire)
+    circuit.add_output("match", match)
+    return circuit
+
+
+def full_matcher_circuit(needle):
+    """Standalone circuit for technique (ii)."""
+    data = _as_bytes(needle)
+    return substring_matcher_circuit(data, len(data))
+
+
+def dfa_string_matcher_circuit(needle):
+    """Standalone circuit for technique (i)."""
+    data = _as_bytes(needle)
+    circuit = Circuit(f"dfa_string<{data.decode('latin1')!r}>")
+    byte = circuit.add_input_vector("byte", 8)
+    record_reset = circuit.add_input("record_reset")
+    fire, match = add_dfa_string_matcher(
+        circuit, byte, record_reset, data
+    )
+    circuit.add_output("fire", fire)
+    circuit.add_output("match", match)
+    return circuit

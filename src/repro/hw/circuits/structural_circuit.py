@@ -1,0 +1,138 @@
+"""Structural-awareness circuits (paper §III-C).
+
+The paper extracts a *small* amount of JSON structure while scanning:
+
+* a **string mask** — track whether the scanner is inside a JSON string,
+  which requires tracking ``\\`` escapes (and ``\\\\``), so that brackets
+  inside string values do not corrupt the nesting level;
+* a **nesting-level counter** — increment on unmasked ``{``/``[``,
+  decrement on unmasked ``}``/``]``;
+* a **scope combiner** — two primitives' results are only ANDed when both
+  fired inside the same structural scope; the flags are latched per scope
+  and cleared whenever a scope closes (an unmasked closing bracket).
+
+This is deliberately approximate (flags set at *different* depths can
+still combine — a rare false-positive source) but can never mask a real
+match, preserving the no-false-negatives guarantee.
+"""
+
+from __future__ import annotations
+
+from ..aig import FALSE
+
+
+class StructuralSignals:
+    """Named literals produced by the shared structural tracker."""
+
+    __slots__ = ("in_string", "masked", "open_bracket", "close_bracket",
+                 "comma", "depth")
+
+    def __init__(self, in_string, masked, open_bracket, close_bracket,
+                 comma, depth):
+        self.in_string = in_string
+        self.masked = masked
+        self.open_bracket = open_bracket
+        self.close_bracket = close_bracket
+        self.comma = comma
+        self.depth = depth
+
+
+def add_structural_tracker(circuit, byte, record_reset=FALSE,
+                           depth_bits=5):
+    """Build the shared string-mask + nesting tracker into ``circuit``.
+
+    Returns a :class:`StructuralSignals` bundle.  Instantiated at most once
+    per composed raw filter; every structural group shares it (its cost is
+    therefore paid once, which is visible in the paper's Pareto tables as
+    the jump from the first structural configuration onwards).
+    """
+    aig = circuit.aig
+
+    in_string = circuit.add_register("struct.in_string")
+    escaped = circuit.add_register("struct.escaped")
+
+    is_quote = byte.eq_const(ord('"'))
+    is_backslash = byte.eq_const(ord("\\"))
+
+    toggle_quote = aig.and_reduce([is_quote, aig.lnot(escaped)])
+    next_in_string = aig.lxor(in_string, toggle_quote)
+    next_in_string = aig.land(next_in_string, aig.lnot(record_reset))
+    circuit.set_next(in_string, next_in_string)
+
+    # escaped is set by an unescaped backslash and always consumed by the
+    # following character (handles \\" and \\\\); tracked independently of
+    # string state, which is equivalent on well-formed JSON and keeps all
+    # three implementations (gate/scalar/vectorised) bit-identical
+    next_escaped = aig.land(is_backslash, aig.lnot(escaped))
+    next_escaped = aig.land(next_escaped, aig.lnot(record_reset))
+    circuit.set_next(escaped, next_escaped)
+
+    masked = in_string
+    unmasked = aig.lnot(masked)
+
+    is_open = aig.lor(byte.eq_const(ord("{")), byte.eq_const(ord("[")))
+    is_close = aig.lor(byte.eq_const(ord("}")), byte.eq_const(ord("]")))
+    is_comma = byte.eq_const(ord(","))
+
+    open_bracket = aig.land(unmasked, is_open)
+    close_bracket = aig.land(unmasked, is_close)
+    comma = aig.land(unmasked, is_comma)
+
+    depth = circuit.add_register_vector("struct.depth", depth_bits)
+    incremented = depth.increment()
+    decremented = depth.decrement()
+    at_zero = depth.is_zero()
+    next_depth = depth.mux(open_bracket, incremented)
+    # never decrement below zero (malformed input robustness)
+    safe_decrement = decremented.mux(at_zero, depth)
+    next_depth = next_depth.mux(
+        aig.land(close_bracket, aig.lnot(open_bracket)), safe_decrement
+    )
+    zero = circuit.constant_vector(depth_bits, 0)
+    next_depth = next_depth.mux(record_reset, zero)
+    circuit.set_next_vector(depth, next_depth)
+
+    return StructuralSignals(
+        in_string=in_string,
+        masked=masked,
+        open_bracket=open_bracket,
+        close_bracket=close_bracket,
+        comma=comma,
+        depth=depth,
+    )
+
+
+def structural_group(circuit, signals, child_fires, record_reset=FALSE,
+                     name="group", comma_scoped=False):
+    """Combine child primitives so they must fire in the same scope.
+
+    ``{RF1 & RF2}`` in the paper's notation.  Per child a latch remembers
+    "fired inside the current scope".  On every scope-closing event the
+    AND of (latch | firing right now) is sampled — a number filter's fire
+    coincides with the closing bracket that delimits its token, so the
+    current-cycle fire must participate — and the latches are cleared.
+
+    Args:
+        comma_scoped: if true, unmasked commas also close the scope
+            (key-value co-occurrence per §III-C); default is bracket
+            scoping, which the paper's evaluation uses for SenML objects.
+    Returns:
+        a sticky literal: "some scope in this record satisfied all
+        children".
+    """
+    aig = circuit.aig
+    scope_close = signals.close_bracket
+    if comma_scoped:
+        scope_close = aig.lor(scope_close, signals.comma)
+
+    effective = []
+    clear = aig.lor(scope_close, record_reset)
+    for index, fire in enumerate(child_fires):
+        latch = circuit.add_register(f"{name}.flag{index}")
+        circuit.set_next(
+            latch, aig.land(aig.lor(latch, fire), aig.lnot(clear))
+        )
+        effective.append(aig.lor(latch, fire))
+
+    group_fire = aig.land(scope_close, aig.and_reduce(effective))
+    return circuit.sticky(f"{name}.match", group_fire, record_reset)

@@ -1,0 +1,101 @@
+"""Cycle-accurate simulation of :class:`~repro.hw.rtl.Circuit` objects.
+
+The simulator drives a circuit one byte per cycle — exactly the paper's
+processing model — and records the named outputs.  It is intentionally a
+straightforward interpreter over the AIG (verification tool, not the
+dataset-scale evaluation path; that is ``repro.core``'s job).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CycleSimulator:
+    """Simulates a synchronous circuit cycle by cycle.
+
+    By convention the circuits in this library have a ``byte`` input vector
+    (8 bits, LSB first) plus optional scalar control inputs; use
+    :meth:`run_stream` for the common "feed these bytes" case.
+    """
+
+    def __init__(self, circuit):
+        self.circuit = circuit
+        self.reset()
+
+    def reset(self):
+        self.state = {
+            register.current: register.init
+            for register in self.circuit.registers
+        }
+
+    def step(self, input_values):
+        """Advance one clock edge.
+
+        Args:
+            input_values: dict mapping port names to ints/bools.  Vector
+                ports take integers (bit 0 = LSB).
+        Returns:
+            dict of output port name -> bool, sampled *before* the edge
+            (i.e. the Mealy outputs for this cycle's inputs).
+        """
+        aig = self.circuit.aig
+        assignment = {}
+        for register_literal, value in self.state.items():
+            assignment[register_literal >> 1] = bool(value)
+        for name, port in self.circuit.inputs.items():
+            value = input_values.get(name, 0)
+            if hasattr(port, "bits"):
+                for position, bit_literal in enumerate(port.bits):
+                    assignment[bit_literal >> 1] = bool(value >> position & 1)
+            else:
+                assignment[port >> 1] = bool(value)
+
+        packed = {
+            node: np.uint64(0xFFFFFFFFFFFFFFFF) if val else np.uint64(0)
+            for node, val in assignment.items()
+        }
+        values = aig.simulate(packed)
+
+        def literal_bool(literal):
+            return bool(aig.literal_value(values, literal) & np.uint64(1))
+
+        outputs = {
+            name: literal_bool(literal)
+            for name, literal in self.circuit.outputs.items()
+        }
+        next_state = {
+            register.current: literal_bool(register.next)
+            for register in self.circuit.registers
+        }
+        self.state = next_state
+        return outputs
+
+    def run_stream(self, data, extra_inputs=None, watch=None):
+        """Feed ``data`` one byte per cycle.
+
+        Args:
+            data: bytes or str.
+            extra_inputs: constant values for non-byte ports.
+            watch: output names to record per cycle (default: all).
+        Returns:
+            dict of output name -> list of per-cycle bools.
+        """
+        if isinstance(data, str):
+            data = data.encode("utf-8", errors="surrogateescape")
+        names = watch if watch is not None else list(self.circuit.outputs)
+        trace = {name: [] for name in names}
+        base = dict(extra_inputs or {})
+        for byte in data:
+            base["byte"] = byte
+            outputs = self.step(base)
+            for name in names:
+                trace[name].append(outputs[name])
+        return trace
+
+    def peek(self, register_name):
+        """Current value of a named register (for debugging)."""
+        for register in self.circuit.registers:
+            if register.name == register_name:
+                return self.state[register.current]
+        raise KeyError(register_name)

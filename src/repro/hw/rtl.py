@@ -1,0 +1,273 @@
+"""A small RTL construction layer on top of the AIG.
+
+A :class:`Circuit` is a synchronous design: one AIG holds the combinational
+cloud; registers are modelled as (current-state primary input, next-state
+literal, reset value) triples.  Circuit generators build byte-per-cycle
+filter pipelines with this API, and the same object is then
+
+* **technology-mapped** (``circuit.lut_count()``) for the resource axis of
+  the paper's plots, and
+* **cycle-simulated** (:class:`repro.hw.gatesim.CycleSimulator`) to verify
+  the gate-level behaviour against the behavioural models.
+
+Only LUTs are reported as "resources", matching the paper (flip-flops are
+abundant on 7-series FPGAs and the paper's tables count LUTs exclusively).
+"""
+
+from __future__ import annotations
+
+from ..errors import SynthesisError
+from .aig import AIG, FALSE, TRUE
+from .lutmap import map_to_luts
+
+
+class Register:
+    """One flip-flop: current value is an AIG input, next value a literal."""
+
+    __slots__ = ("name", "current", "next", "init")
+
+    def __init__(self, name, current, init):
+        self.name = name
+        self.current = current  # AIG literal (a PI)
+        self.next = None        # AIG literal, set via Circuit.set_next
+        self.init = bool(init)
+
+
+class BitVec:
+    """An ordered list of AIG literals, least-significant bit first."""
+
+    __slots__ = ("circuit", "bits")
+
+    def __init__(self, circuit, bits):
+        self.circuit = circuit
+        self.bits = list(bits)
+
+    def __len__(self):
+        return len(self.bits)
+
+    def __iter__(self):
+        return iter(self.bits)
+
+    def __getitem__(self, index):
+        picked = self.bits[index]
+        if isinstance(index, slice):
+            return BitVec(self.circuit, picked)
+        return picked
+
+    @property
+    def aig(self):
+        return self.circuit.aig
+
+    # -- comparisons ---------------------------------------------------------
+
+    def eq_const(self, value):
+        """Literal that is true when this vector equals ``value``."""
+        aig = self.aig
+        terms = []
+        for position, bit in enumerate(self.bits):
+            if value >> position & 1:
+                terms.append(bit)
+            else:
+                terms.append(aig.lnot(bit))
+        if value >> len(self.bits):
+            return FALSE
+        return aig.and_reduce(terms)
+
+    def eq(self, other):
+        aig = self.aig
+        if len(other) != len(self):
+            raise SynthesisError("width mismatch in eq")
+        terms = [aig.lxnor(a, b) for a, b in zip(self.bits, other.bits)]
+        return aig.and_reduce(terms)
+
+    def ge_const(self, value):
+        """Unsigned comparison ``self >= value``."""
+        aig = self.aig
+        # self >= value  <=>  NOT (self < value)
+        borrow = FALSE  # becomes true if self < value considering low bits
+        for position, bit in enumerate(self.bits):
+            v = (value >> position) & 1
+            if v:
+                # this bit of value is 1: self_bit 0 -> less; 1 -> keep
+                borrow = aig.mux(bit, borrow, TRUE)
+            else:
+                # value bit 0: self_bit 1 -> greater (clears borrow)
+                borrow = aig.mux(bit, FALSE, borrow)
+        if value >> len(self.bits):
+            return FALSE
+        return aig.lnot(borrow)
+
+    def le_const(self, value):
+        aig = self.aig
+        if value >> len(self.bits):
+            return TRUE
+        above = FALSE
+        for position, bit in enumerate(self.bits):
+            v = (value >> position) & 1
+            if v:
+                above = aig.mux(bit, above, FALSE)
+            else:
+                above = aig.mux(bit, TRUE, above)
+        return aig.lnot(above)
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def increment(self, enable=TRUE):
+        """Returns self + enable (ripple-carry, saturating is NOT applied)."""
+        aig = self.aig
+        carry = enable
+        out = []
+        for bit in self.bits:
+            out.append(aig.lxor(bit, carry))
+            carry = aig.land(bit, carry)
+        return BitVec(self.circuit, out)
+
+    def decrement(self, enable=TRUE):
+        aig = self.aig
+        borrow = enable
+        out = []
+        for bit in self.bits:
+            out.append(aig.lxor(bit, borrow))
+            borrow = aig.land(aig.lnot(bit), borrow)
+        return BitVec(self.circuit, out)
+
+    def mux(self, sel, if_true):
+        """Per-bit mux: sel ? if_true : self."""
+        aig = self.aig
+        if len(if_true) != len(self):
+            raise SynthesisError("width mismatch in mux")
+        return BitVec(
+            self.circuit,
+            [aig.mux(sel, t, f) for t, f in zip(if_true.bits, self.bits)],
+        )
+
+    def is_zero(self):
+        return self.aig.lnot(self.aig.or_reduce(self.bits))
+
+    @staticmethod
+    def constant(circuit, width, value):
+        bits = [TRUE if value >> i & 1 else FALSE for i in range(width)]
+        return BitVec(circuit, bits)
+
+
+class Circuit:
+    """A synchronous netlist: AIG cloud + registers + named ports."""
+
+    def __init__(self, name="circuit"):
+        self.name = name
+        self.aig = AIG()
+        self.registers = []
+        self._reg_by_literal = {}
+        self.inputs = {}   # port name -> literal or BitVec
+        self.outputs = {}  # port name -> literal
+
+    # -- ports -----------------------------------------------------------------
+
+    def add_input(self, name):
+        literal = self.aig.add_input(name)
+        self.inputs[name] = literal
+        return literal
+
+    def add_input_vector(self, name, width):
+        vec = BitVec(
+            self, [self.aig.add_input(f"{name}[{i}]") for i in range(width)]
+        )
+        self.inputs[name] = vec
+        return vec
+
+    def add_output(self, name, literal):
+        self.outputs[name] = literal
+
+    # -- state -----------------------------------------------------------------
+
+    def add_register(self, name, init=False):
+        current = self.aig.add_input(f"{name}.q")
+        register = Register(name, current, init)
+        self.registers.append(register)
+        self._reg_by_literal[current] = register
+        return current
+
+    def add_register_vector(self, name, width, init=0):
+        bits = [
+            self.add_register(f"{name}[{i}]", init >> i & 1)
+            for i in range(width)
+        ]
+        return BitVec(self, bits)
+
+    def set_next(self, current_literal, next_literal):
+        register = self._reg_by_literal.get(current_literal)
+        if register is None:
+            raise SynthesisError("set_next on a non-register literal")
+        register.next = next_literal
+
+    def set_next_vector(self, vec, next_vec):
+        for current, nxt in zip(vec.bits, next_vec.bits):
+            self.set_next(current, nxt)
+
+    def new_vector(self, bits):
+        return BitVec(self, bits)
+
+    def constant_vector(self, width, value):
+        return BitVec.constant(self, width, value)
+
+    # -- convenience gates -------------------------------------------------------
+
+    def sticky(self, name, set_literal, clear_literal=FALSE):
+        """A set-dominant sticky flag register; returns its current literal.
+
+        next = (current | set) & ~clear
+        """
+        current = self.add_register(name, init=False)
+        aig = self.aig
+        nxt = aig.land(aig.lor(current, set_literal), aig.lnot(clear_literal))
+        self.set_next(current, nxt)
+        return current
+
+    def byte_equals(self, byte_vec, char):
+        code = char if isinstance(char, int) else ord(char)
+        return byte_vec.eq_const(code)
+
+    def byte_in_class(self, byte_vec, charclass):
+        """Membership literal for a CharClass, built from range comparators."""
+        aig = self.aig
+        terms = []
+        for lo, hi in charclass.ranges():
+            if lo == hi:
+                terms.append(byte_vec.eq_const(lo))
+            else:
+                terms.append(
+                    aig.land(byte_vec.ge_const(lo), byte_vec.le_const(hi))
+                )
+        return aig.or_reduce(terms)
+
+    # -- analysis -------------------------------------------------------------
+
+    def _root_literals(self):
+        roots = []
+        for register in self.registers:
+            if register.next is None:
+                raise SynthesisError(
+                    f"register {register.name!r} has no next-state function"
+                )
+            roots.append(register.next)
+        roots.extend(self.outputs.values())
+        return roots
+
+    def map_luts(self, k=6, mode="area"):
+        return map_to_luts(self.aig, self._root_literals(), k=k, mode=mode)
+
+    def lut_count(self, k=6):
+        """Number of K-input LUTs after technology mapping (paper's metric)."""
+        return self.map_luts(k=k).num_luts
+
+    def ff_count(self):
+        return len(self.registers)
+
+    def stats(self, k=6):
+        network = self.map_luts(k=k)
+        return {
+            "luts": network.num_luts,
+            "ffs": self.ff_count(),
+            "depth": network.depth,
+            "aig_ands": self.aig.num_ands,
+        }

@@ -1,0 +1,21 @@
+"""JSON substrate: strict parser, JSONPath subset, SenML helpers.
+
+This package is the "CPU side" of the paper's architecture — the accurate
+parser that raw filters front-end — implemented from scratch so the whole
+system is self-contained.
+"""
+
+from .parser import iter_records, loads
+from .path import coerce_number, compile_path
+from .senml import base_time, measurement_value, measurements, sensor_names
+
+__all__ = [
+    "iter_records",
+    "loads",
+    "coerce_number",
+    "compile_path",
+    "base_time",
+    "measurement_value",
+    "measurements",
+    "sensor_names",
+]

@@ -1,0 +1,100 @@
+"""Strict recursive-descent JSON parser (the oracle's parsing stage).
+
+``loads`` parses one document; ``iter_records`` parses a newline-delimited
+stream, which is the record framing the whole evaluation uses (one JSON
+record per line, as RiotBench-style ingestion produces).
+"""
+
+from __future__ import annotations
+
+from ..errors import JSONParseError
+from . import tokenizer as tk
+
+
+class _Parser:
+    def __init__(self, data):
+        self.tokenizer = tk.Tokenizer(data)
+        self.token = self.tokenizer.next_token()
+
+    def _advance(self):
+        self.token = self.tokenizer.next_token()
+
+    def _expect(self, kind):
+        if self.token.kind != kind:
+            raise JSONParseError(
+                f"expected {kind!r}, found {self.token.kind!r}",
+                self.token.start,
+            )
+        value = self.token
+        self._advance()
+        return value
+
+    def parse_document(self):
+        value = self.parse_value()
+        if self.token.kind != tk.EOF:
+            raise JSONParseError("trailing data", self.token.start)
+        return value
+
+    def parse_value(self):
+        kind = self.token.kind
+        if kind == tk.LBRACE:
+            return self._object()
+        if kind == tk.LBRACKET:
+            return self._array()
+        if kind in (tk.STRING, tk.NUMBER, tk.TRUE, tk.FALSE, tk.NULL):
+            value = self.token.value
+            self._advance()
+            return value
+        raise JSONParseError(
+            f"unexpected token {kind!r}", self.token.start
+        )
+
+    def _object(self):
+        self._expect(tk.LBRACE)
+        result = {}
+        if self.token.kind == tk.RBRACE:
+            self._advance()
+            return result
+        while True:
+            key = self._expect(tk.STRING).value
+            self._expect(tk.COLON)
+            result[key] = self.parse_value()
+            if self.token.kind == tk.COMMA:
+                self._advance()
+                continue
+            self._expect(tk.RBRACE)
+            return result
+
+    def _array(self):
+        self._expect(tk.LBRACKET)
+        result = []
+        if self.token.kind == tk.RBRACKET:
+            self._advance()
+            return result
+        while True:
+            result.append(self.parse_value())
+            if self.token.kind == tk.COMMA:
+                self._advance()
+                continue
+            self._expect(tk.RBRACKET)
+            return result
+
+
+def loads(data):
+    """Parse one JSON document from bytes or str."""
+    return _Parser(data).parse_document()
+
+
+def iter_records(stream):
+    """Parse a newline-delimited JSON stream, yielding (bytes, value).
+
+    Blank lines are skipped.  This is the CPU-side parser a raw filter
+    offloads: in the paper's architecture only records that survive the
+    FPGA filter reach this code.
+    """
+    if isinstance(stream, str):
+        stream = stream.encode("utf-8")
+    for line in stream.split(b"\n"):
+        if not line.strip():
+            continue
+        yield line, loads(line)

@@ -1,0 +1,313 @@
+"""A JSONPath subset sufficient for the paper's queries.
+
+Supports::
+
+    $.field.sub
+    $.array[*]            every element
+    $.array[3]            index
+    $.e[?(@.n == "temperature" & @.v >= 0.7 & @.v <= 35.1)]   filters
+
+Filter predicates compare ``@.field`` against literals with
+``== != < <= > >=`` and combine with ``&`` / ``&&`` (and ``|`` / ``||``).
+Numeric comparisons coerce string values (SenML stores numbers as JSON
+strings, e.g. ``"v":"35.2"``), mirroring how a real consumer of the
+RiotBench streams evaluates the running-example query of Listing 2.
+"""
+
+from __future__ import annotations
+
+from ..errors import JSONPathError
+
+
+class _PathParser:
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message):
+        raise JSONPathError(f"{message} (path={self.text!r}, pos={self.pos})")
+
+    def peek(self):
+        if self.pos < len(self.text):
+            return self.text[self.pos]
+        return None
+
+    def eat(self, char):
+        if self.peek() == char:
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, char):
+        if not self.eat(char):
+            self.error(f"expected {char!r}")
+
+    def skip_ws(self):
+        while self.peek() is not None and self.peek() in " \t":
+            self.pos += 1
+
+    # -- path grammar -------------------------------------------------------
+
+    def parse(self):
+        self.expect("$")
+        steps = []
+        while self.pos < len(self.text):
+            if self.eat("."):
+                steps.append(Field(self._identifier()))
+            elif self.peek() == "[":
+                steps.append(self._bracket())
+            else:
+                self.error("expected '.' or '['")
+        return Path(self.text, steps)
+
+    def _identifier(self):
+        start = self.pos
+        while self.peek() is not None and (
+            self.peek().isalnum() or self.peek() == "_"
+        ):
+            self.pos += 1
+        if start == self.pos:
+            self.error("expected an identifier")
+        return self.text[start : self.pos]
+
+    def _bracket(self):
+        self.expect("[")
+        if self.eat("*"):
+            self.expect("]")
+            return Wildcard()
+        if self.peek() == "?":
+            self.pos += 1
+            self.expect("(")
+            predicate = self._or_expr()
+            self.skip_ws()
+            self.expect(")")
+            self.expect("]")
+            return Filter(predicate)
+        start = self.pos
+        while self.peek() is not None and self.peek() != "]":
+            self.pos += 1
+        index_text = self.text[start : self.pos].strip()
+        self.expect("]")
+        try:
+            return Index(int(index_text))
+        except ValueError:
+            self.error(f"bad index {index_text!r}")
+
+    # -- predicate grammar ---------------------------------------------------
+
+    def _or_expr(self):
+        terms = [self._and_expr()]
+        while True:
+            self.skip_ws()
+            if self.eat("|"):
+                self.eat("|")
+                terms.append(self._and_expr())
+            else:
+                break
+        if len(terms) == 1:
+            return terms[0]
+        return OrPred(terms)
+
+    def _and_expr(self):
+        terms = [self._comparison()]
+        while True:
+            self.skip_ws()
+            if self.peek() == "&":
+                self.pos += 1
+                self.eat("&")
+                terms.append(self._comparison())
+            else:
+                break
+        if len(terms) == 1:
+            return terms[0]
+        return AndPred(terms)
+
+    def _comparison(self):
+        self.skip_ws()
+        self.expect("@")
+        self.expect(".")
+        field = self._identifier()
+        self.skip_ws()
+        operator = self._operator()
+        self.skip_ws()
+        literal = self._literal()
+        return Comparison(field, operator, literal)
+
+    def _operator(self):
+        for op in ("==", "!=", "<=", ">=", "<", ">"):
+            if self.text.startswith(op, self.pos):
+                self.pos += len(op)
+                return op
+        # the paper writes unicode comparison glyphs in queries
+        for glyph, op in (("≤", "<="), ("≥", ">=")):
+            if self.text.startswith(glyph, self.pos):
+                self.pos += len(glyph)
+                return op
+        self.error("expected a comparison operator")
+
+    def _literal(self):
+        char = self.peek()
+        if char in ('"', "'"):
+            quote = char
+            self.pos += 1
+            start = self.pos
+            while self.peek() is not None and self.peek() != quote:
+                self.pos += 1
+            value = self.text[start : self.pos]
+            self.expect(quote)
+            return value
+        start = self.pos
+        while self.peek() is not None and (
+            self.peek().isdigit() or self.peek() in "+-.eE"
+        ):
+            self.pos += 1
+        text = self.text[start : self.pos]
+        if not text:
+            self.error("expected a literal")
+        try:
+            if any(c in text for c in ".eE"):
+                return float(text)
+            return int(text)
+        except ValueError:
+            self.error(f"bad numeric literal {text!r}")
+
+
+# -- AST ---------------------------------------------------------------------
+
+class Field:
+    def __init__(self, name):
+        self.name = name
+
+    def select(self, nodes):
+        for node in nodes:
+            if isinstance(node, dict) and self.name in node:
+                yield node[self.name]
+
+
+class Index:
+    def __init__(self, index):
+        self.index = index
+
+    def select(self, nodes):
+        for node in nodes:
+            if isinstance(node, list) and -len(node) <= self.index < len(node):
+                yield node[self.index]
+
+
+class Wildcard:
+    def select(self, nodes):
+        for node in nodes:
+            if isinstance(node, list):
+                yield from node
+            elif isinstance(node, dict):
+                yield from node.values()
+
+
+class Filter:
+    def __init__(self, predicate):
+        self.predicate = predicate
+
+    def select(self, nodes):
+        for node in nodes:
+            if isinstance(node, list):
+                for item in node:
+                    if self.predicate.test(item):
+                        yield item
+            elif isinstance(node, dict):
+                if self.predicate.test(node):
+                    yield node
+
+
+class Comparison:
+    def __init__(self, field, operator, literal):
+        self.field = field
+        self.operator = operator
+        self.literal = literal
+
+    def test(self, node):
+        if not isinstance(node, dict) or self.field not in node:
+            return False
+        value = node[self.field]
+        literal = self.literal
+        if isinstance(literal, (int, float)) and not isinstance(
+            literal, bool
+        ):
+            value = coerce_number(value)
+            if value is None:
+                return False
+        operator = self.operator
+        try:
+            if operator == "==":
+                return value == literal
+            if operator == "!=":
+                return value != literal
+            if operator == "<":
+                return value < literal
+            if operator == "<=":
+                return value <= literal
+            if operator == ">":
+                return value > literal
+            if operator == ">=":
+                return value >= literal
+        except TypeError:
+            return False
+        raise JSONPathError(f"unknown operator {operator!r}")
+
+
+class AndPred:
+    def __init__(self, terms):
+        self.terms = terms
+
+    def test(self, node):
+        return all(term.test(node) for term in self.terms)
+
+
+class OrPred:
+    def __init__(self, terms):
+        self.terms = terms
+
+    def test(self, node):
+        return any(term.test(node) for term in self.terms)
+
+
+class Path:
+    """A compiled JSONPath expression."""
+
+    def __init__(self, text, steps):
+        self.text = text
+        self.steps = steps
+
+    def select(self, document):
+        """All nodes selected by this path from ``document``."""
+        nodes = [document]
+        for step in self.steps:
+            nodes = list(step.select(nodes))
+        return nodes
+
+    def matches(self, document):
+        """True when the path selects at least one node."""
+        return bool(self.select(document))
+
+    def __repr__(self):
+        return f"Path({self.text!r})"
+
+
+def compile_path(text):
+    """Compile a JSONPath string into a :class:`Path`."""
+    return _PathParser(text).parse()
+
+
+def coerce_number(value):
+    """Interpret a JSON value as a number if possible (SenML strings!)."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        try:
+            if any(c in value for c in ".eE"):
+                return float(value)
+            return int(value)
+        except ValueError:
+            return None
+    return None

@@ -1,0 +1,46 @@
+"""SenML (Sensor Measurement Lists) helpers.
+
+The RiotBench SmartCity stream encodes each record as a SenML pack — an
+array ``"e"`` of measurement objects ``{"v": value, "u": unit, "n": name}``
+plus a base time ``"bt"`` (see the paper's Listing 1).  These helpers give
+the exact oracle a typed view of such records.
+"""
+
+from __future__ import annotations
+
+from .path import coerce_number
+
+
+def measurements(record):
+    """Iterate ``(name, numeric_value, unit)`` over a SenML record."""
+    entries = record.get("e") if isinstance(record, dict) else None
+    if not isinstance(entries, list):
+        return
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        name = entry.get("n")
+        value = coerce_number(entry.get("v"))
+        unit = entry.get("u")
+        if isinstance(name, str):
+            yield name, value, unit
+
+
+def measurement_value(record, name):
+    """Numeric value of the measurement called ``name``, or None."""
+    for found_name, value, _ in measurements(record):
+        if found_name == name:
+            return value
+    return None
+
+
+def base_time(record):
+    """The pack's base time ``bt`` as a number, or None."""
+    if isinstance(record, dict):
+        return coerce_number(record.get("bt"))
+    return None
+
+
+def sensor_names(record):
+    """Set of measurement names present in a record."""
+    return {name for name, _, _ in measurements(record)}

@@ -1,0 +1,199 @@
+"""Tokenizer for the strict JSON parser.
+
+Implemented from scratch (no ``json`` stdlib) because the exact oracle —
+the CPU parser a raw filter front-ends — is part of the system the paper
+assumes, and because tests cross-validate the structural tracker against
+real token positions.
+"""
+
+from __future__ import annotations
+
+from ..errors import JSONParseError
+
+# token kinds
+LBRACE, RBRACE, LBRACKET, RBRACKET = "{", "}", "[", "]"
+COLON, COMMA = ":", ","
+STRING, NUMBER, TRUE, FALSE, NULL, EOF = (
+    "string", "number", "true", "false", "null", "eof"
+)
+
+_WHITESPACE = b" \t\n\r"
+_ESCAPES = {
+    ord('"'): '"',
+    ord("\\"): "\\",
+    ord("/"): "/",
+    ord("b"): "\b",
+    ord("f"): "\f",
+    ord("n"): "\n",
+    ord("r"): "\r",
+    ord("t"): "\t",
+}
+
+
+class Token:
+    __slots__ = ("kind", "value", "start", "end")
+
+    def __init__(self, kind, value, start, end):
+        self.kind = kind
+        self.value = value
+        self.start = start
+        self.end = end
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, {self.start})"
+
+
+class Tokenizer:
+    """Byte-oriented JSON tokenizer with position tracking."""
+
+    def __init__(self, data):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self.data = data
+        self.pos = 0
+
+    def error(self, message):
+        raise JSONParseError(message, self.pos)
+
+    def _skip_whitespace(self):
+        data = self.data
+        pos = self.pos
+        while pos < len(data) and data[pos] in _WHITESPACE:
+            pos += 1
+        self.pos = pos
+
+    def next_token(self):
+        self._skip_whitespace()
+        data = self.data
+        pos = self.pos
+        if pos >= len(data):
+            return Token(EOF, None, pos, pos)
+        byte = data[pos]
+        char = chr(byte)
+        if char in "{}[]:,":
+            self.pos = pos + 1
+            return Token(char, char, pos, pos + 1)
+        if byte == ord('"'):
+            return self._string()
+        if byte == ord("-") or ord("0") <= byte <= ord("9"):
+            return self._number()
+        if data.startswith(b"true", pos):
+            self.pos = pos + 4
+            return Token(TRUE, True, pos, self.pos)
+        if data.startswith(b"false", pos):
+            self.pos = pos + 5
+            return Token(FALSE, False, pos, self.pos)
+        if data.startswith(b"null", pos):
+            self.pos = pos + 4
+            return Token(NULL, None, pos, self.pos)
+        self.error(f"unexpected byte {byte:#04x}")
+
+    def _string(self):
+        data = self.data
+        start = self.pos
+        pos = start + 1
+        pieces = []
+        while True:
+            if pos >= len(data):
+                self.pos = pos
+                self.error("unterminated string")
+            byte = data[pos]
+            if byte == ord('"'):
+                pos += 1
+                break
+            if byte == ord("\\"):
+                if pos + 1 >= len(data):
+                    self.pos = pos
+                    self.error("unterminated escape")
+                escape = data[pos + 1]
+                if escape in _ESCAPES:
+                    pieces.append(_ESCAPES[escape])
+                    pos += 2
+                elif escape == ord("u"):
+                    code, pos = self._unicode_escape(pos)
+                    # combine UTF-16 surrogate pairs (RFC 8259 §7)
+                    if 0xD800 <= code <= 0xDBFF and data.startswith(
+                        b"\\u", pos
+                    ):
+                        low, low_end = self._unicode_escape(pos)
+                        if 0xDC00 <= low <= 0xDFFF:
+                            code = 0x10000 + (
+                                (code - 0xD800) << 10
+                            ) + (low - 0xDC00)
+                            pos = low_end
+                    pieces.append(chr(code))
+                else:
+                    self.pos = pos
+                    self.error(f"bad escape \\{chr(escape)}")
+            elif byte < 0x20:
+                self.pos = pos
+                self.error("control character in string")
+            else:
+                run_start = pos
+                while (
+                    pos < len(data)
+                    and data[pos] != ord('"')
+                    and data[pos] != ord("\\")
+                    and data[pos] >= 0x20
+                ):
+                    pos += 1
+                pieces.append(
+                    data[run_start:pos].decode("utf-8", errors="replace")
+                )
+        self.pos = pos
+        return Token(STRING, "".join(pieces), start, pos)
+
+    def _unicode_escape(self, pos):
+        """Decode ``\\uXXXX`` starting at ``pos``; returns (code, end)."""
+        data = self.data
+        hex_digits = data[pos + 2 : pos + 6]
+        if len(hex_digits) != 4:
+            self.pos = pos
+            self.error("truncated \\u escape")
+        try:
+            code = int(hex_digits, 16)
+        except ValueError:
+            self.pos = pos
+            self.error("bad \\u escape")
+        return code, pos + 6
+
+    def _number(self):
+        data = self.data
+        start = self.pos
+        pos = start
+        if data[pos] == ord("-"):
+            pos += 1
+        digit_start = pos
+        while pos < len(data) and ord("0") <= data[pos] <= ord("9"):
+            pos += 1
+        if pos == digit_start:
+            self.pos = pos
+            self.error("number has no digits")
+        if pos - digit_start > 1 and data[digit_start] == ord("0"):
+            self.pos = digit_start
+            self.error("leading zero in number")
+        is_float = False
+        if pos < len(data) and data[pos] == ord("."):
+            is_float = True
+            pos += 1
+            frac_start = pos
+            while pos < len(data) and ord("0") <= data[pos] <= ord("9"):
+                pos += 1
+            if pos == frac_start:
+                self.pos = pos
+                self.error("missing digits after decimal point")
+        if pos < len(data) and data[pos] in (ord("e"), ord("E")):
+            is_float = True
+            pos += 1
+            if pos < len(data) and data[pos] in (ord("+"), ord("-")):
+                pos += 1
+            exp_start = pos
+            while pos < len(data) and ord("0") <= data[pos] <= ord("9"):
+                pos += 1
+            if pos == exp_start:
+                self.pos = pos
+                self.error("missing exponent digits")
+        text = data[start:pos].decode("ascii")
+        value = float(text) if is_float else int(text)
+        self.pos = pos
+        return Token(NUMBER, value, start, pos)

@@ -1,0 +1,73 @@
+"""Regex engine substrate: AST, parser, NFA, DFA, range-to-regex derivation.
+
+This subpackage is a self-contained regular-expression engine over the byte
+alphabet, built exactly for what the paper needs: compile value-range
+expressions (and arbitrary user regexes, e.g. date formats) into minimised
+DFAs that the hardware layer then turns into circuits.
+"""
+
+from .ast import (
+    EPSILON,
+    NEVER,
+    Alt,
+    Concat,
+    Epsilon,
+    Literal,
+    Never,
+    Opt,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+    alt,
+    concat,
+    lit,
+    opt,
+    plus,
+    repeat,
+    star,
+)
+from .charclass import CharClass, partition_classes
+from .dfa import DFA
+from .nfa import NFA, build_nfa
+from .parser import parse_regex
+from .range_regex import (
+    DecimalBound,
+    decimal_range_regex,
+    exponent_escape_regex,
+    integer_range_regex,
+    number_range_regex,
+)
+
+__all__ = [
+    "EPSILON",
+    "NEVER",
+    "Alt",
+    "Concat",
+    "Epsilon",
+    "Literal",
+    "Never",
+    "Opt",
+    "Plus",
+    "Regex",
+    "Repeat",
+    "Star",
+    "alt",
+    "concat",
+    "lit",
+    "opt",
+    "plus",
+    "repeat",
+    "star",
+    "CharClass",
+    "partition_classes",
+    "DFA",
+    "NFA",
+    "build_nfa",
+    "parse_regex",
+    "DecimalBound",
+    "decimal_range_regex",
+    "exponent_escape_regex",
+    "integer_range_regex",
+    "number_range_regex",
+]

@@ -1,0 +1,360 @@
+"""Regular-expression abstract syntax trees.
+
+The AST is the interchange format between the range-to-regex derivation
+(paper Fig. 2, step 1), the textual parser, and Thompson NFA construction
+(step 2).  Nodes are immutable; the module-level constructors (:func:`lit`,
+:func:`concat`, :func:`alt`, ...) perform light algebraic simplification so
+derived expressions stay readable when rendered with ``to_pattern()``.
+"""
+
+from __future__ import annotations
+
+from .charclass import CharClass
+
+
+class Regex:
+    """Base class for regex AST nodes."""
+
+    __slots__ = ()
+
+    def to_pattern(self):
+        """Render this AST as regex source text."""
+        raise NotImplementedError
+
+    # precedence used for parenthesisation when printing:
+    # 0 alternation, 1 concatenation, 2 repetition, 3 atom
+    _prec = 3
+
+    def _child_pattern(self, child, min_prec):
+        text = child.to_pattern()
+        if child._prec < min_prec:
+            return "(" + text + ")"
+        return text
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.to_pattern()!r})"
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self):
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        raise NotImplementedError
+
+
+class Epsilon(Regex):
+    """Matches the empty string."""
+
+    __slots__ = ()
+    _prec = 3
+
+    def to_pattern(self):
+        return ""
+
+    def _key(self):
+        return ()
+
+
+class Never(Regex):
+    """Matches nothing at all (the empty language)."""
+
+    __slots__ = ()
+    _prec = 3
+
+    def to_pattern(self):
+        return "[^\\x00-\\xff]"
+
+    def _key(self):
+        return ()
+
+
+class Literal(Regex):
+    """Matches a single character drawn from a :class:`CharClass`."""
+
+    __slots__ = ("charclass",)
+    _prec = 3
+
+    def __init__(self, charclass):
+        if charclass.is_empty():
+            raise ValueError("use Never() for the empty language")
+        object.__setattr__(self, "charclass", charclass)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("Regex nodes are immutable")
+
+    def to_pattern(self):
+        return self.charclass.pattern()
+
+    def _key(self):
+        return (self.charclass,)
+
+
+class Concat(Regex):
+    """Matches ``parts[0]`` followed by ``parts[1]`` ..."""
+
+    __slots__ = ("parts",)
+    _prec = 1
+
+    def __init__(self, parts):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("Regex nodes are immutable")
+
+    def to_pattern(self):
+        return "".join(self._child_pattern(p, 1) for p in self.parts)
+
+    def _key(self):
+        return self.parts
+
+
+class Alt(Regex):
+    """Matches any one of ``options``."""
+
+    __slots__ = ("options",)
+    _prec = 0
+
+    def __init__(self, options):
+        object.__setattr__(self, "options", tuple(options))
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("Regex nodes are immutable")
+
+    def to_pattern(self):
+        return "|".join(self._child_pattern(o, 1) for o in self.options)
+
+    def _key(self):
+        return self.options
+
+
+class Star(Regex):
+    """Kleene star: zero or more repetitions of ``inner``."""
+
+    __slots__ = ("inner",)
+    _prec = 2
+
+    def __init__(self, inner):
+        object.__setattr__(self, "inner", inner)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("Regex nodes are immutable")
+
+    def to_pattern(self):
+        return self._child_pattern(self.inner, 3) + "*"
+
+    def _key(self):
+        return (self.inner,)
+
+
+class Plus(Regex):
+    """One or more repetitions of ``inner``."""
+
+    __slots__ = ("inner",)
+    _prec = 2
+
+    def __init__(self, inner):
+        object.__setattr__(self, "inner", inner)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("Regex nodes are immutable")
+
+    def to_pattern(self):
+        return self._child_pattern(self.inner, 3) + "+"
+
+    def _key(self):
+        return (self.inner,)
+
+
+class Opt(Regex):
+    """Zero or one occurrence of ``inner``."""
+
+    __slots__ = ("inner",)
+    _prec = 2
+
+    def __init__(self, inner):
+        object.__setattr__(self, "inner", inner)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("Regex nodes are immutable")
+
+    def to_pattern(self):
+        return self._child_pattern(self.inner, 3) + "?"
+
+    def _key(self):
+        return (self.inner,)
+
+
+class Repeat(Regex):
+    """Between ``lo`` and ``hi`` repetitions; ``hi=None`` means unbounded."""
+
+    __slots__ = ("inner", "lo", "hi")
+    _prec = 2
+
+    def __init__(self, inner, lo, hi):
+        if lo < 0 or (hi is not None and hi < lo):
+            raise ValueError(f"bad repeat bounds {{{lo},{hi}}}")
+        object.__setattr__(self, "inner", inner)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("Regex nodes are immutable")
+
+    def to_pattern(self):
+        body = self._child_pattern(self.inner, 3)
+        if self.hi is None:
+            return f"{body}{{{self.lo},}}"
+        if self.lo == self.hi:
+            return f"{body}{{{self.lo}}}"
+        return f"{body}{{{self.lo},{self.hi}}}"
+
+    def _key(self):
+        return (self.inner, self.lo, self.hi)
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors (perform light simplification)
+# ---------------------------------------------------------------------------
+
+EPSILON = Epsilon()
+NEVER = Never()
+
+
+def lit(chars):
+    """Literal node from a CharClass, a single character, or a string.
+
+    A multi-character string becomes a concatenation of its characters.
+    """
+    if isinstance(chars, CharClass):
+        if chars.is_empty():
+            return NEVER
+        return Literal(chars)
+    if isinstance(chars, int):
+        return Literal(CharClass.of(chars))
+    if len(chars) == 0:
+        return EPSILON
+    if len(chars) == 1:
+        return Literal(CharClass.of(chars))
+    return concat(*[Literal(CharClass.of(c)) for c in chars])
+
+
+def concat(*parts):
+    """Concatenation with epsilon/never elimination and flattening."""
+    flat = []
+    for part in parts:
+        if isinstance(part, Never):
+            return NEVER
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(flat)
+
+
+def alt(*options):
+    """Alternation with never-elimination, flattening and deduplication.
+
+    Adjacent single-character alternatives are merged into one CharClass
+    literal (e.g. ``3|[4-9]`` becomes ``[3-9]``), which keeps derived range
+    expressions compact, as in the paper's Fig. 2.
+    """
+    flat = []
+    for option in options:
+        if isinstance(option, Never):
+            continue
+        if isinstance(option, Alt):
+            flat.extend(option.options)
+        else:
+            flat.append(option)
+    merged_class = CharClass.empty()
+    others = []
+    has_epsilon = False
+    for option in flat:
+        if isinstance(option, Literal):
+            merged_class = merged_class | option.charclass
+        elif isinstance(option, Epsilon):
+            has_epsilon = True
+        else:
+            others.append(option)
+    result = []
+    if has_epsilon:
+        result.append(EPSILON)
+    if not merged_class.is_empty():
+        result.append(Literal(merged_class))
+    seen = set()
+    for option in others:
+        if option not in seen:
+            seen.add(option)
+            result.append(option)
+    if not result:
+        return NEVER
+    if len(result) == 1:
+        return result[0]
+    # epsilon | X simplifies to X? when there are exactly two options
+    if has_epsilon and len(result) == 2:
+        return Opt(result[1])
+    return Alt(result)
+
+
+def star(inner):
+    if isinstance(inner, (Epsilon, Never)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    if isinstance(inner, Plus):
+        return Star(inner.inner)
+    return Star(inner)
+
+
+def plus(inner):
+    if isinstance(inner, Epsilon):
+        return EPSILON
+    if isinstance(inner, Never):
+        return NEVER
+    if isinstance(inner, (Star, Plus)):
+        return Star(inner.inner) if isinstance(inner, Star) else inner
+    return Plus(inner)
+
+
+def opt(inner):
+    if isinstance(inner, Epsilon):
+        return EPSILON
+    if isinstance(inner, Never):
+        return EPSILON
+    if isinstance(inner, (Star, Opt)):
+        return inner
+    if isinstance(inner, Plus):
+        return Star(inner.inner)
+    return Opt(inner)
+
+
+def repeat(inner, lo, hi):
+    """``inner{lo,hi}`` with trivial-case simplification."""
+    if hi is not None and hi == 0:
+        return EPSILON
+    if lo == 0 and hi is None:
+        return star(inner)
+    if lo == 1 and hi is None:
+        return plus(inner)
+    if lo == 0 and hi == 1:
+        return opt(inner)
+    if lo == 1 and hi == 1:
+        return inner
+    if isinstance(inner, (Epsilon, Never)):
+        return inner if lo > 0 or isinstance(inner, Epsilon) else EPSILON
+    return Repeat(inner, lo, hi)
+
+
+def any_of_digits(count):
+    """Exactly ``count`` arbitrary decimal digits."""
+    from .charclass import CharClass as _CC
+
+    return repeat(Literal(_CC.digits()), count, count)

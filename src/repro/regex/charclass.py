@@ -1,0 +1,222 @@
+"""Character classes over the byte alphabet (0..255).
+
+A :class:`CharClass` is an immutable set of byte values, stored as a 256-bit
+integer bitmask.  This representation makes union/intersection/complement
+cheap and hashable, which the NFA/DFA machinery relies on (transition labels
+are CharClasses, and subset construction partitions the alphabet by them).
+"""
+
+from __future__ import annotations
+
+ALPHABET_SIZE = 256
+_FULL_MASK = (1 << ALPHABET_SIZE) - 1
+
+DIGITS = frozenset(range(ord("0"), ord("9") + 1))
+
+#: Characters that can occur inside a JSON numeric token (paper §III-B:
+#: "non-numeric (including '+', '-', '.', 'e')" characters delimit numbers).
+NUMBER_TOKEN_CHARS = frozenset(
+    list(DIGITS) + [ord(c) for c in "+-.eE"]
+)
+
+
+class CharClass:
+    """An immutable set of byte values with set-algebra operations."""
+
+    __slots__ = ("mask",)
+
+    def __init__(self, mask=0):
+        if not 0 <= mask <= _FULL_MASK:
+            raise ValueError("mask out of range for a 256-symbol alphabet")
+        object.__setattr__(self, "mask", mask)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability
+        raise AttributeError("CharClass is immutable")
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def empty():
+        return _EMPTY
+
+    @staticmethod
+    def full():
+        return _FULL
+
+    @staticmethod
+    def of(*chars):
+        """Class containing exactly the given characters (str or int)."""
+        mask = 0
+        for ch in chars:
+            code = ch if isinstance(ch, int) else ord(ch)
+            if not 0 <= code < ALPHABET_SIZE:
+                raise ValueError(f"character code {code} out of range")
+            mask |= 1 << code
+        return CharClass(mask)
+
+    @staticmethod
+    def from_string(text):
+        """Class containing every character of ``text``."""
+        return CharClass.of(*text)
+
+    @staticmethod
+    def range(lo, hi):
+        """Inclusive character range, e.g. ``CharClass.range('0', '9')``."""
+        lo_code = lo if isinstance(lo, int) else ord(lo)
+        hi_code = hi if isinstance(hi, int) else ord(hi)
+        if lo_code > hi_code:
+            raise ValueError(f"empty range {lo!r}..{hi!r}")
+        mask = ((1 << (hi_code - lo_code + 1)) - 1) << lo_code
+        return CharClass(mask)
+
+    @staticmethod
+    def digit_range(lo, hi):
+        """Class of decimal digits ``lo..hi`` given as ints 0..9."""
+        if not (0 <= lo <= hi <= 9):
+            raise ValueError(f"bad digit range {lo}..{hi}")
+        return CharClass.range(ord("0") + lo, ord("0") + hi)
+
+    @staticmethod
+    def digits():
+        return _DIGITS
+
+    @staticmethod
+    def number_token_chars():
+        """All characters that may appear inside a numeric token."""
+        return _NUMTOK
+
+    # -- set algebra -------------------------------------------------------
+
+    def union(self, other):
+        return CharClass(self.mask | other.mask)
+
+    def intersect(self, other):
+        return CharClass(self.mask & other.mask)
+
+    def difference(self, other):
+        return CharClass(self.mask & ~other.mask & _FULL_MASK)
+
+    def complement(self):
+        return CharClass(~self.mask & _FULL_MASK)
+
+    __or__ = union
+    __and__ = intersect
+    __sub__ = difference
+    __invert__ = complement
+
+    # -- queries -----------------------------------------------------------
+
+    def contains(self, ch):
+        code = ch if isinstance(ch, int) else ord(ch)
+        return bool((self.mask >> code) & 1)
+
+    __contains__ = contains
+
+    def is_empty(self):
+        return self.mask == 0
+
+    def __len__(self):
+        return bin(self.mask).count("1")
+
+    def __bool__(self):
+        return self.mask != 0
+
+    def chars(self):
+        """Iterate member byte values in ascending order."""
+        mask = self.mask
+        code = 0
+        while mask:
+            if mask & 1:
+                yield code
+            mask >>= 1
+            code += 1
+
+    def ranges(self):
+        """Member bytes as a list of inclusive ``(lo, hi)`` runs."""
+        runs = []
+        start = None
+        prev = None
+        for code in self.chars():
+            if start is None:
+                start = prev = code
+            elif code == prev + 1:
+                prev = code
+            else:
+                runs.append((start, prev))
+                start = prev = code
+        if start is not None:
+            runs.append((start, prev))
+        return runs
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other):
+        return isinstance(other, CharClass) and self.mask == other.mask
+
+    def __hash__(self):
+        return hash(self.mask)
+
+    def __repr__(self):
+        return f"CharClass({self.pattern()!r})"
+
+    def pattern(self):
+        """Render as regex character-class source text (best effort)."""
+        if self.mask == _FULL_MASK:
+            return "."
+        if len(self) == 1:
+            return _escape_char(next(self.chars()))
+        parts = []
+        for lo, hi in self.ranges():
+            if lo == hi:
+                parts.append(_escape_char(lo))
+            elif hi == lo + 1:
+                parts.append(_escape_char(lo) + _escape_char(hi))
+            else:
+                parts.append(f"{_escape_char(lo)}-{_escape_char(hi)}")
+        return "[" + "".join(parts) + "]"
+
+
+_CLASS_ESCAPES = set(b"\\]^-[")
+
+
+def _escape_char(code):
+    if code in _CLASS_ESCAPES:
+        return "\\" + chr(code)
+    if 0x20 <= code < 0x7F:
+        return chr(code)
+    return f"\\x{code:02x}"
+
+
+def partition_classes(classes):
+    """Refine a collection of CharClasses into disjoint atoms.
+
+    Returns a list of non-empty, pairwise-disjoint CharClasses whose union is
+    the union of the inputs, such that every input class is a union of atoms.
+    Subset construction iterates over atoms instead of 256 raw symbols.
+    """
+    atoms = []
+    for cls in classes:
+        if cls.is_empty():
+            continue
+        remaining = cls
+        next_atoms = []
+        for atom in atoms:
+            inter = atom & remaining
+            if inter.is_empty():
+                next_atoms.append(atom)
+                continue
+            next_atoms.append(inter)
+            rest = atom - remaining
+            if not rest.is_empty():
+                next_atoms.append(rest)
+            remaining = remaining - inter
+        if not remaining.is_empty():
+            next_atoms.append(remaining)
+        atoms = next_atoms
+    return atoms
+
+
+_EMPTY = CharClass(0)
+_FULL = CharClass(_FULL_MASK)
+_DIGITS = CharClass.range("0", "9")
+_NUMTOK = CharClass.of(*NUMBER_TOKEN_CHARS)

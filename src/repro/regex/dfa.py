@@ -1,0 +1,372 @@
+"""Deterministic finite automata over the byte alphabet.
+
+The DFA is the artefact the paper synthesises into hardware (Fig. 2 step 2).
+It is *complete* (every state has a transition for every byte; a non-accepting
+sink absorbs dead inputs) and stores its transition table as a numpy
+``(num_states, 256)`` array so behavioural evaluation over large corpora is a
+table-lookup loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .charclass import ALPHABET_SIZE, CharClass, partition_classes
+from .nfa import build_nfa
+
+
+class DFA:
+    """A complete DFA with dense integer states.
+
+    Attributes:
+        table: int32 array of shape ``(num_states, 256)``; ``table[s, c]``
+            is the successor of state ``s`` on byte ``c``.
+        start: the initial state index.
+        accepting: boolean array of shape ``(num_states,)``.
+    """
+
+    def __init__(self, table, start, accepting):
+        self.table = np.asarray(table, dtype=np.int32)
+        if self.table.ndim != 2 or self.table.shape[1] != ALPHABET_SIZE:
+            raise ValueError("transition table must be (n_states, 256)")
+        self.start = int(start)
+        self.accepting = np.asarray(accepting, dtype=bool)
+        if self.accepting.shape[0] != self.table.shape[0]:
+            raise ValueError("accepting mask size mismatch")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_nfa(cls, nfa):
+        """Subset construction.
+
+        The alphabet is first partitioned into atoms (disjoint refinements of
+        every transition CharClass) so each frontier state explores
+        ``O(atoms)`` symbols instead of 256.
+        """
+        atoms = partition_classes(nfa.all_charclasses())
+        atom_reps = [next(atom.chars()) for atom in atoms]
+
+        start_set = frozenset(nfa.epsilon_closure({nfa.start}))
+        subsets = {start_set: 0}
+        worklist = [start_set]
+        rows = []
+        accepting = []
+
+        while worklist:
+            current = worklist.pop()
+            index = subsets[current]
+            while len(rows) <= index:
+                rows.append(None)
+                accepting.append(False)
+            row = np.full(ALPHABET_SIZE, -1, dtype=np.int64)
+            accepting[index] = nfa.accept in current
+            for atom, rep in zip(atoms, atom_reps):
+                target = frozenset(
+                    nfa.epsilon_closure(nfa.move(current, rep))
+                )
+                if not target:
+                    continue
+                if target not in subsets:
+                    subsets[target] = len(subsets)
+                    worklist.append(target)
+                target_index = subsets[target]
+                for lo, hi in atom.ranges():
+                    row[lo : hi + 1] = target_index
+            rows[index] = row
+
+        # append a sink for missing transitions
+        sink = len(rows)
+        table = np.full((sink + 1, ALPHABET_SIZE), sink, dtype=np.int32)
+        for index, row in enumerate(rows):
+            filled = np.where(row < 0, sink, row)
+            table[index] = filled
+        accepting.append(False)
+        return cls(table, 0, np.array(accepting, dtype=bool))
+
+    @classmethod
+    def from_regex(cls, node):
+        """Compile a regex AST directly to a minimal DFA."""
+        return cls.from_nfa(build_nfa(node)).minimized()
+
+    @classmethod
+    def from_pattern(cls, pattern):
+        """Compile regex source text directly to a minimal DFA."""
+        from .parser import parse_regex
+
+        return cls.from_regex(parse_regex(pattern))
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def num_states(self):
+        return self.table.shape[0]
+
+    def step(self, state, byte):
+        return int(self.table[state, byte])
+
+    def run(self, data, state=None):
+        """Consume ``data`` (bytes or str) and return the final state."""
+        if isinstance(data, str):
+            data = data.encode("utf-8", errors="surrogateescape")
+        current = self.start if state is None else state
+        table = self.table
+        for byte in data:
+            current = table[current, byte]
+        return int(current)
+
+    def accepts(self, data):
+        return bool(self.accepting[self.run(data)])
+
+    def is_accepting(self, state):
+        return bool(self.accepting[state])
+
+    def dead_states(self):
+        """States from which no accepting state is reachable."""
+        reverse = [[] for _ in range(self.num_states)]
+        for state in range(self.num_states):
+            for target in np.unique(self.table[state]):
+                reverse[int(target)].append(state)
+        alive = set(np.flatnonzero(self.accepting).tolist())
+        stack = list(alive)
+        while stack:
+            state = stack.pop()
+            for pred in reverse[state]:
+                if pred not in alive:
+                    alive.add(pred)
+                    stack.append(pred)
+        return {s for s in range(self.num_states) if s not in alive}
+
+    def transition_classes(self):
+        """Per state, the outgoing edges as ``{target: CharClass}``.
+
+        This is the view the hardware generator consumes: each distinct
+        (state, target) edge becomes a character-class decoder.
+        """
+        result = []
+        for state in range(self.num_states):
+            row = self.table[state]
+            edges = {}
+            for target in np.unique(row):
+                mask = 0
+                for byte in np.flatnonzero(row == target):
+                    mask |= 1 << int(byte)
+                edges[int(target)] = CharClass(mask)
+            result.append(edges)
+        return result
+
+    # -- minimisation ------------------------------------------------------
+
+    def minimized(self):
+        """Hopcroft minimisation (also prunes unreachable states)."""
+        reachable = self._reachable_states()
+        remap = {old: new for new, old in enumerate(sorted(reachable))}
+        n = len(remap)
+        table = np.empty((n, ALPHABET_SIZE), dtype=np.int32)
+        accepting = np.zeros(n, dtype=bool)
+        for old, new in remap.items():
+            row = self.table[old]
+            table[new] = [remap[int(t)] for t in row]
+            accepting[new] = self.accepting[old]
+        start = remap[self.start]
+
+        partition = _hopcroft(table, accepting, n)
+
+        block_of = np.empty(n, dtype=np.int64)
+        for block_index, block in enumerate(partition):
+            for state in block:
+                block_of[state] = block_index
+        m = len(partition)
+        new_table = np.empty((m, ALPHABET_SIZE), dtype=np.int32)
+        new_accepting = np.zeros(m, dtype=bool)
+        for block_index, block in enumerate(partition):
+            representative = next(iter(block))
+            new_table[block_index] = block_of[table[representative]]
+            new_accepting[block_index] = accepting[representative]
+        return DFA(new_table, int(block_of[start]), new_accepting)
+
+    def hardware_reordered(self):
+        """Renumber states so the most-targeted state gets code 0.
+
+        With binary state encoding, transitions into the all-zeros code
+        need no next-state logic at all.  The most-targeted state is the
+        sink for number DFAs and the start state for ``.*needle.*``
+        matchers — in both cases the "default" transition becomes free,
+        which is how hand-written RTL (and good synthesis) treats it.
+        """
+        mass = np.zeros(self.num_states, dtype=np.int64)
+        for state in range(self.num_states):
+            targets, counts = np.unique(self.table[state],
+                                        return_counts=True)
+            mass[targets] += counts
+        heavy = int(np.argmax(mass))
+        if heavy == 0:
+            return self
+        permutation = np.arange(self.num_states)
+        permutation[heavy] = 0
+        permutation[0] = heavy
+        table = np.empty_like(self.table)
+        accepting = np.zeros(self.num_states, dtype=bool)
+        for old in range(self.num_states):
+            table[permutation[old]] = permutation[self.table[old]]
+            accepting[permutation[old]] = self.accepting[old]
+        return DFA(table, int(permutation[self.start]), accepting)
+
+    def _reachable_states(self):
+        seen = {self.start}
+        stack = [self.start]
+        while stack:
+            state = stack.pop()
+            for target in np.unique(self.table[state]):
+                target = int(target)
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen
+
+    # -- algebra (used by tests for equivalence checking) -------------------
+
+    def complement(self):
+        return DFA(self.table.copy(), self.start, ~self.accepting)
+
+    def product(self, other, op):
+        """Product construction; ``op(bool, bool) -> bool`` combines accepts."""
+        pair_index = {}
+        worklist = [(self.start, other.start)]
+        pair_index[(self.start, other.start)] = 0
+        rows = []
+        accepting = []
+        while worklist:
+            a, b = worklist.pop()
+            index = pair_index[(a, b)]
+            while len(rows) <= index:
+                rows.append(None)
+                accepting.append(False)
+            accepting[index] = bool(op(self.accepting[a], other.accepting[b]))
+            row = np.empty(ALPHABET_SIZE, dtype=np.int32)
+            row_a = self.table[a]
+            row_b = other.table[b]
+            cache = {}
+            for byte in range(ALPHABET_SIZE):
+                key = (int(row_a[byte]), int(row_b[byte]))
+                target = cache.get(key)
+                if target is None:
+                    target = pair_index.get(key)
+                    if target is None:
+                        target = len(pair_index)
+                        pair_index[key] = target
+                        worklist.append(key)
+                    cache[key] = target
+                row[byte] = target
+            rows[index] = row
+        table = np.vstack(rows)
+        return DFA(table, 0, np.array(accepting, dtype=bool))
+
+    def intersect(self, other):
+        return self.product(other, lambda a, b: a and b)
+
+    def union(self, other):
+        return self.product(other, lambda a, b: a or b)
+
+    def difference(self, other):
+        return self.product(other, lambda a, b: a and not b)
+
+    def is_empty(self):
+        """True if the accepted language is empty."""
+        return not any(
+            self.accepting[state] for state in self._reachable_states()
+        )
+
+    def equivalent(self, other):
+        return self.difference(other).is_empty() and (
+            other.difference(self).is_empty()
+        )
+
+    def shortest_accepted(self):
+        """A shortest accepted byte string, or None if language is empty."""
+        from collections import deque
+
+        if self.accepting[self.start]:
+            return b""
+        parent = {self.start: None}
+        queue = deque([self.start])
+        while queue:
+            state = queue.popleft()
+            row = self.table[state]
+            for target in np.unique(row):
+                target = int(target)
+                if target in parent:
+                    continue
+                byte = int(np.flatnonzero(row == target)[0])
+                parent[target] = (state, byte)
+                if self.accepting[target]:
+                    out = []
+                    cursor = target
+                    while parent[cursor] is not None:
+                        prev, via = parent[cursor]
+                        out.append(via)
+                        cursor = prev
+                    return bytes(reversed(out))
+                queue.append(target)
+        return None
+
+    def __repr__(self):
+        n_acc = int(self.accepting.sum())
+        return f"DFA(states={self.num_states}, accepting={n_acc})"
+
+
+def _hopcroft(table, accepting, n):
+    """Hopcroft's partition-refinement algorithm.
+
+    Returns a list of frozensets of state indices (the equivalence classes).
+    Works on the complete transition table, refining over the 256-symbol
+    alphabet; predecessor sets are precomputed per symbol.
+    """
+    if n == 0:
+        return []
+    accepting_set = frozenset(np.flatnonzero(accepting).tolist())
+    rejecting_set = frozenset(range(n)) - accepting_set
+    partition = [s for s in (accepting_set, rejecting_set) if s]
+    worklist = set()
+    if accepting_set and rejecting_set:
+        smaller = min(accepting_set, rejecting_set, key=len)
+        worklist.add(smaller)
+    elif partition:
+        worklist.add(partition[0])
+
+    # predecessors[c][s] = set of states t with table[t, c] == s
+    predecessors = []
+    for symbol in range(ALPHABET_SIZE):
+        column = table[:, symbol]
+        by_target = {}
+        for source, target in enumerate(column):
+            by_target.setdefault(int(target), []).append(source)
+        predecessors.append(by_target)
+
+    partition = set(partition)
+    while worklist:
+        splitter = worklist.pop()
+        for symbol in range(ALPHABET_SIZE):
+            by_target = predecessors[symbol]
+            moved = set()
+            for target in splitter:
+                moved.update(by_target.get(target, ()))
+            if not moved:
+                continue
+            for block in list(partition):
+                inside = block & moved
+                if not inside or inside == block:
+                    continue
+                outside = block - moved
+                partition.discard(block)
+                inside = frozenset(inside)
+                outside = frozenset(outside)
+                partition.add(inside)
+                partition.add(outside)
+                if block in worklist:
+                    worklist.discard(block)
+                    worklist.add(inside)
+                    worklist.add(outside)
+                else:
+                    worklist.add(min(inside, outside, key=len))
+    return sorted(partition, key=lambda block: min(block))

@@ -1,0 +1,171 @@
+"""Thompson construction: regex AST -> nondeterministic finite automaton.
+
+States are dense integers.  Transitions are labelled with
+:class:`~repro.regex.charclass.CharClass` objects; epsilon moves are kept in
+a separate adjacency list.  The NFA is an intermediate form only — use
+:func:`repro.regex.dfa.DFA.from_nfa` to determinise.
+"""
+
+from __future__ import annotations
+
+from . import ast as rast
+
+
+class NFA:
+    """A Thompson-style NFA with a single start and single accept state."""
+
+    def __init__(self):
+        self.num_states = 0
+        self.start = None
+        self.accept = None
+        #: list per state of (CharClass, target) pairs
+        self.transitions = []
+        #: list per state of epsilon targets
+        self.epsilons = []
+
+    def new_state(self):
+        index = self.num_states
+        self.num_states += 1
+        self.transitions.append([])
+        self.epsilons.append([])
+        return index
+
+    def add_transition(self, src, charclass, dst):
+        self.transitions[src].append((charclass, dst))
+
+    def add_epsilon(self, src, dst):
+        self.epsilons[src].append(dst)
+
+    # -- queries -----------------------------------------------------------
+
+    def epsilon_closure(self, states):
+        """Set of states reachable from ``states`` via epsilon moves."""
+        stack = list(states)
+        closure = set(states)
+        while stack:
+            state = stack.pop()
+            for target in self.epsilons[state]:
+                if target not in closure:
+                    closure.add(target)
+                    stack.append(target)
+        return closure
+
+    def move(self, states, symbol):
+        """States reachable from ``states`` by consuming byte ``symbol``."""
+        result = set()
+        for state in states:
+            for charclass, target in self.transitions[state]:
+                if symbol in charclass:
+                    result.add(target)
+        return result
+
+    def accepts(self, data):
+        """Slow reference acceptance check (used by tests only)."""
+        if isinstance(data, str):
+            data = data.encode("utf-8", errors="surrogateescape")
+        current = self.epsilon_closure({self.start})
+        for byte in data:
+            current = self.epsilon_closure(self.move(current, byte))
+            if not current:
+                return False
+        return self.accept in current
+
+    def all_charclasses(self):
+        """Every distinct transition label in the automaton."""
+        seen = set()
+        for edges in self.transitions:
+            for charclass, _ in edges:
+                seen.add(charclass)
+        return seen
+
+
+def build_nfa(node):
+    """Compile a regex AST into an :class:`NFA` via Thompson construction."""
+    nfa = NFA()
+    start, accept = _build(nfa, node)
+    nfa.start = start
+    nfa.accept = accept
+    return nfa
+
+
+def _build(nfa, node):
+    """Returns (start, accept) fragment for ``node``."""
+    if isinstance(node, rast.Epsilon):
+        state = nfa.new_state()
+        return state, state
+    if isinstance(node, rast.Never):
+        return nfa.new_state(), nfa.new_state()
+    if isinstance(node, rast.Literal):
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        nfa.add_transition(start, node.charclass, accept)
+        return start, accept
+    if isinstance(node, rast.Concat):
+        start, accept = _build(nfa, node.parts[0])
+        for part in node.parts[1:]:
+            nxt_start, nxt_accept = _build(nfa, part)
+            nfa.add_epsilon(accept, nxt_start)
+            accept = nxt_accept
+        return start, accept
+    if isinstance(node, rast.Alt):
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        for option in node.options:
+            opt_start, opt_accept = _build(nfa, option)
+            nfa.add_epsilon(start, opt_start)
+            nfa.add_epsilon(opt_accept, accept)
+        return start, accept
+    if isinstance(node, rast.Star):
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        inner_start, inner_accept = _build(nfa, node.inner)
+        nfa.add_epsilon(start, inner_start)
+        nfa.add_epsilon(start, accept)
+        nfa.add_epsilon(inner_accept, inner_start)
+        nfa.add_epsilon(inner_accept, accept)
+        return start, accept
+    if isinstance(node, rast.Plus):
+        inner_start, inner_accept = _build(nfa, node.inner)
+        accept = nfa.new_state()
+        nfa.add_epsilon(inner_accept, inner_start)
+        nfa.add_epsilon(inner_accept, accept)
+        return inner_start, accept
+    if isinstance(node, rast.Opt):
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        inner_start, inner_accept = _build(nfa, node.inner)
+        nfa.add_epsilon(start, inner_start)
+        nfa.add_epsilon(start, accept)
+        nfa.add_epsilon(inner_accept, accept)
+        return start, accept
+    if isinstance(node, rast.Repeat):
+        return _build_repeat(nfa, node)
+    raise TypeError(f"unknown regex AST node {node!r}")
+
+
+def _build_repeat(nfa, node):
+    """Expand ``inner{lo,hi}`` by copying the fragment.
+
+    Counted repetition is expanded structurally: ``lo`` mandatory copies,
+    followed by either ``hi - lo`` optional copies or a star.
+    """
+    start = nfa.new_state()
+    accept = start
+    for _ in range(node.lo):
+        frag_start, frag_accept = _build(nfa, node.inner)
+        nfa.add_epsilon(accept, frag_start)
+        accept = frag_accept
+    if node.hi is None:
+        star_start, star_accept = _build(nfa, rast.star(node.inner))
+        nfa.add_epsilon(accept, star_start)
+        accept = star_accept
+    else:
+        tail = nfa.new_state()
+        for _ in range(node.hi - node.lo):
+            nfa.add_epsilon(accept, tail)
+            frag_start, frag_accept = _build(nfa, node.inner)
+            nfa.add_epsilon(accept, frag_start)
+            accept = frag_accept
+        nfa.add_epsilon(accept, tail)
+        accept = tail
+    return start, accept

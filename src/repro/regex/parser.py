@@ -1,0 +1,253 @@
+"""A recursive-descent parser for a practical regex subset.
+
+Supported syntax: literals, ``\\`` escapes (incl. ``\\d \\w \\s \\xNN``),
+``.``, character classes ``[a-z]`` / ``[^a-z]``, grouping ``( )``,
+alternation ``|``, and the quantifiers ``* + ? {m} {m,} {m,n}``.
+
+This is enough for every expression the paper needs (value-range automata,
+date formats, the exponent escape hatch) while staying deliberately free of
+backreferences and lookaround, which have no DFA equivalent.
+"""
+
+from __future__ import annotations
+
+from ..errors import RegexSyntaxError
+from .ast import (
+    EPSILON,
+    Literal,
+    alt,
+    concat,
+    opt,
+    plus,
+    repeat,
+    star,
+)
+from .charclass import CharClass
+
+_SPECIAL = set("()[]{}|*+?.\\")
+
+_ESCAPE_CLASSES = {
+    "d": CharClass.range("0", "9"),
+    "D": CharClass.range("0", "9").complement(),
+    "w": (
+        CharClass.range("a", "z")
+        | CharClass.range("A", "Z")
+        | CharClass.range("0", "9")
+        | CharClass.of("_")
+    ),
+    "s": CharClass.of(" ", "\t", "\n", "\r", "\f", "\v"),
+}
+_ESCAPE_CLASSES["W"] = _ESCAPE_CLASSES["w"].complement()
+_ESCAPE_CLASSES["S"] = _ESCAPE_CLASSES["s"].complement()
+
+_ESCAPE_CHARS = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+}
+
+
+class _Parser:
+    def __init__(self, pattern):
+        self.pattern = pattern
+        self.pos = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _error(self, message):
+        raise RegexSyntaxError(message, self.pattern, self.pos)
+
+    def _peek(self):
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def _next(self):
+        ch = self._peek()
+        if ch is None:
+            self._error("unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    def _eat(self, ch):
+        if self._peek() == ch:
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self):
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            self._error(f"unexpected character {self._peek()!r}")
+        return node
+
+    def _alternation(self):
+        options = [self._concatenation()]
+        while self._eat("|"):
+            options.append(self._concatenation())
+        return alt(*options)
+
+    def _concatenation(self):
+        parts = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch in ")|":
+                break
+            parts.append(self._repetition())
+        if not parts:
+            return EPSILON
+        return concat(*parts)
+
+    def _repetition(self):
+        node = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self.pos += 1
+                node = star(node)
+            elif ch == "+":
+                self.pos += 1
+                node = plus(node)
+            elif ch == "?":
+                self.pos += 1
+                node = opt(node)
+            elif ch == "{":
+                node = self._counted_repeat(node)
+            else:
+                return node
+
+    def _counted_repeat(self, node):
+        self._next()  # consume '{'
+        lo = self._integer()
+        hi = lo
+        if self._eat(","):
+            if self._peek() == "}":
+                hi = None
+            else:
+                hi = self._integer()
+        if not self._eat("}"):
+            self._error("expected '}' in counted repetition")
+        if hi is not None and hi < lo:
+            self._error(f"bad repetition bounds {{{lo},{hi}}}")
+        return repeat(node, lo, hi)
+
+    def _integer(self):
+        start = self.pos
+        while self._peek() is not None and self._peek().isdigit():
+            self.pos += 1
+        if start == self.pos:
+            self._error("expected an integer")
+        return int(self.pattern[start : self.pos])
+
+    def _atom(self):
+        ch = self._peek()
+        if ch is None:
+            self._error("expected an atom")
+        if ch == "(":
+            self.pos += 1
+            if self.pattern.startswith("?:", self.pos):
+                self.pos += 2  # non-capturing groups are the only groups
+            node = self._alternation()
+            if not self._eat(")"):
+                self._error("unbalanced '('")
+            return node
+        if ch == "[":
+            return Literal(self._charclass())
+        if ch == ".":
+            self.pos += 1
+            return Literal(CharClass.full())
+        if ch == "\\":
+            self.pos += 1
+            return Literal(self._escape())
+        if ch in "*+?{":
+            self._error(f"quantifier {ch!r} with nothing to repeat")
+        if ch in ")|":
+            self._error(f"unexpected {ch!r}")
+        self.pos += 1
+        return Literal(CharClass.of(ch))
+
+    def _escape(self):
+        ch = self._next()
+        if ch in _ESCAPE_CLASSES:
+            return _ESCAPE_CLASSES[ch]
+        if ch in _ESCAPE_CHARS:
+            return CharClass.of(_ESCAPE_CHARS[ch])
+        if ch == "x":
+            hex_digits = self.pattern[self.pos : self.pos + 2]
+            if len(hex_digits) != 2:
+                self._error("incomplete \\x escape")
+            try:
+                code = int(hex_digits, 16)
+            except ValueError:
+                self._error(f"bad \\x escape {hex_digits!r}")
+            self.pos += 2
+            return CharClass.of(code)
+        return CharClass.of(ch)
+
+    def _charclass(self):
+        self._next()  # consume '['
+        negate = self._eat("^")
+        members = CharClass.empty()
+        first = True
+        while True:
+            ch = self._peek()
+            if ch is None:
+                self._error("unterminated character class")
+            if ch == "]" and not first:
+                self.pos += 1
+                break
+            members = members | self._class_item()
+            first = False
+        if negate:
+            members = members.complement()
+        if members.is_empty():
+            self._error("empty character class")
+        return members
+
+    def _class_item(self):
+        lo = self._class_char()
+        if isinstance(lo, CharClass):
+            return lo
+        if self._peek() == "-" and self.pos + 1 < len(self.pattern) and (
+            self.pattern[self.pos + 1] != "]"
+        ):
+            self.pos += 1
+            hi = self._class_char()
+            if isinstance(hi, CharClass):
+                self._error("character class range with a class endpoint")
+            if hi < lo:
+                self._error(f"reversed class range {chr(lo)}-{chr(hi)}")
+            return CharClass.range(lo, hi)
+        return CharClass.of(lo)
+
+    def _class_char(self):
+        """One class member: an int code, or a CharClass for \\d etc."""
+        ch = self._next()
+        if ch != "\\":
+            return ord(ch)
+        esc = self._next()
+        if esc in _ESCAPE_CLASSES:
+            return _ESCAPE_CLASSES[esc]
+        if esc in _ESCAPE_CHARS:
+            return ord(_ESCAPE_CHARS[esc])
+        if esc == "x":
+            hex_digits = self.pattern[self.pos : self.pos + 2]
+            if len(hex_digits) != 2:
+                self._error("incomplete \\x escape")
+            self.pos += 2
+            return int(hex_digits, 16)
+        return ord(esc)
+
+
+def parse_regex(pattern):
+    """Parse ``pattern`` into a regex AST.
+
+    >>> parse_regex("3[5-9]|[4-9][0-9]").to_pattern()
+    '3[5-9]|[4-9][0-9]'
+    """
+    return _Parser(pattern).parse()

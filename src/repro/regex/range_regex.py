@@ -1,0 +1,497 @@
+"""Derive regular expressions for numeric value ranges (paper §III-B, Fig. 2).
+
+The paper's number-range raw filter works by (step 1) deriving a regular
+expression that matches exactly the decimal representations of numbers in
+``[lo, hi]`` and (step 2) compiling it to a minimised DFA.  This module
+implements step 1 for
+
+* integer ranges (``v(12 <= i <= 49)``), including one-sided bounds
+  (Fig. 2 shows ``i >= 35``),
+* decimal ("float") ranges (``v(0.7 <= f <= 35.1)``) with exact
+  digit-by-digit fraction comparison,
+* negative bounds (QS1 uses ``-12.5 <= temperature``), and
+* the JSON **exponent escape hatch**: scientific notation (``2.1e3``)
+  cannot be range-checked by a DFA, so — exactly as the paper prescribes —
+  any token containing a digit immediately followed by ``e``/``E`` is
+  accepted unconditionally (a deliberate false-positive source, never a
+  false negative).
+
+Bounds are handled as decimal *strings* end-to-end so values like ``0.7``
+never suffer binary floating-point rounding.
+"""
+
+from __future__ import annotations
+
+from ..errors import RangeBoundError
+from .ast import (
+    EPSILON,
+    NEVER,
+    Literal,
+    alt,
+    concat,
+    lit,
+    opt,
+    plus,
+    repeat,
+    star,
+)
+from .charclass import CharClass
+
+_DIGIT = Literal(CharClass.digits())
+
+
+def _digit_ge(d):
+    """CharClass literal for digits >= d (d in 0..9), or NEVER if none."""
+    if d > 9:
+        return NEVER
+    return Literal(CharClass.digit_range(d, 9))
+
+
+def _digit_le(d):
+    if d < 0:
+        return NEVER
+    return Literal(CharClass.digit_range(0, d))
+
+
+def _digit_between(lo, hi):
+    if lo > hi:
+        return NEVER
+    return Literal(CharClass.digit_range(lo, hi))
+
+
+# ---------------------------------------------------------------------------
+# Equal-length digit-string comparisons (integer parts)
+# ---------------------------------------------------------------------------
+
+def _same_len_ge(s):
+    """Equal-length digit strings numerically >= ``s``."""
+    if not s:
+        return EPSILON
+    head = int(s[0])
+    rest = repeat(_DIGIT, len(s) - 1, len(s) - 1)
+    return alt(
+        concat(_digit_ge(head + 1), rest),
+        concat(lit(s[0]), _same_len_ge(s[1:])),
+    )
+
+
+def _same_len_le(s):
+    """Equal-length digit strings numerically <= ``s``."""
+    if not s:
+        return EPSILON
+    head = int(s[0])
+    rest = repeat(_DIGIT, len(s) - 1, len(s) - 1)
+    return alt(
+        concat(_digit_le(head - 1), rest),
+        concat(lit(s[0]), _same_len_le(s[1:])),
+    )
+
+
+def _same_len_range(a, b):
+    """Equal-length digit strings with ``a <= value <= b``."""
+    if len(a) != len(b):
+        raise ValueError("equal-length helper called with unequal lengths")
+    if not a:
+        return EPSILON
+    head_a, head_b = int(a[0]), int(b[0])
+    if head_a == head_b:
+        return concat(lit(a[0]), _same_len_range(a[1:], b[1:]))
+    rest = repeat(_DIGIT, len(a) - 1, len(a) - 1)
+    return alt(
+        concat(lit(a[0]), _same_len_ge(a[1:])),
+        concat(_digit_between(head_a + 1, head_b - 1), rest),
+        concat(lit(b[0]), _same_len_le(b[1:])),
+    )
+
+
+def _uint_range(lo, hi):
+    """Unsigned decimal integers (no leading zeros) with lo <= v <= hi.
+
+    ``hi=None`` means unbounded above.  Mirrors Fig. 2's construction:
+    same-length patterns for each digit count plus a "more digits" tail.
+    """
+    if lo < 0:
+        raise ValueError("lo must be non-negative here")
+    lo_str = str(lo)
+    options = []
+    if hi is None:
+        options.append(_same_len_ge_noleadzero(lo_str))
+        # every number with strictly more digits than lo (Fig. 2 step 1.3)
+        options.append(
+            concat(_digit_between(1, 9), repeat(_DIGIT, len(lo_str), None))
+        )
+        return alt(*options)
+    if lo > hi:
+        raise ValueError(f"empty integer range [{lo}, {hi}]")
+    hi_str = str(hi)
+    for width in range(len(lo_str), len(hi_str) + 1):
+        floor = 0 if width == 1 else 10 ** (width - 1)
+        ceil = 10**width - 1
+        a = max(lo, floor)
+        b = min(hi, ceil)
+        if a > b:
+            continue
+        options.append(_same_len_range(str(a), str(b)))
+    return alt(*options)
+
+
+def _same_len_ge_noleadzero(s):
+    """Like :func:`_same_len_ge` but forbids a leading zero for width > 1."""
+    if len(s) <= 1:
+        return _same_len_ge(s)
+    head = int(s[0])
+    rest = repeat(_DIGIT, len(s) - 1, len(s) - 1)
+    return alt(
+        concat(_digit_between(max(head + 1, 1), 9), rest),
+        concat(lit(s[0]), _same_len_ge(s[1:])),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fraction-digit comparisons (after the decimal point)
+# ---------------------------------------------------------------------------
+#
+# Fraction bounds are digit strings with trailing zeros stripped, so a bound
+# string is either empty (== 0) or ends in a non-zero digit.  That invariant
+# means no suffix of a bound is "all zeros", which keeps the recursions
+# below simple.
+
+def _strip_frac(frac):
+    return frac.rstrip("0")
+
+
+def _frac_ge(s):
+    """Digit strings f (possibly empty) with 0.f >= 0.s; s is stripped."""
+    if not s:
+        return star(_DIGIT)
+    head = int(s[0])
+    return alt(
+        concat(_digit_ge(head + 1), star(_DIGIT)),
+        concat(lit(s[0]), _frac_ge(s[1:])),
+    )
+
+
+def _frac_le(s):
+    """Digit strings f (possibly empty) with 0.f <= 0.s; s is stripped.
+
+    Trailing zeros in f are always harmless (0.50 == 0.5), so when the
+    bound is exhausted only zeros may follow.
+    """
+    if not s:
+        return star(lit("0"))
+    head = int(s[0])
+    options = [EPSILON, concat(lit(s[0]), _frac_le(s[1:]))]
+    if head > 0:
+        options.append(concat(_digit_le(head - 1), star(_DIGIT)))
+    return alt(*options)
+
+
+def _frac_between(lo_s, hi_s):
+    """Digit strings f (possibly empty) with 0.lo_s <= 0.f <= 0.hi_s."""
+    if not lo_s:
+        return _frac_le(hi_s)
+    if not hi_s:
+        # require f >= 0.lo_s > 0 while f <= 0: impossible
+        return NEVER
+    head_lo, head_hi = int(lo_s[0]), int(hi_s[0])
+    if head_lo == head_hi:
+        return concat(lit(lo_s[0]), _frac_between(lo_s[1:], hi_s[1:]))
+    if head_lo > head_hi:
+        return NEVER
+    return alt(
+        concat(lit(lo_s[0]), _frac_ge(lo_s[1:])),
+        concat(_digit_between(head_lo + 1, head_hi - 1), star(_DIGIT)),
+        concat(lit(hi_s[0]), _frac_le(hi_s[1:])),
+    )
+
+
+def _dot_frac(frac_node):
+    """Wrap a fraction pattern as '.' + (>=1 digit satisfying it).
+
+    ``frac_node`` may accept the empty string; we forbid it by intersecting
+    with ``[0-9]+`` at composition time.  Since the AST has no intersection
+    operator, we use the identity  (f ∩ [0-9]+) = f · ε-removal, realised by
+    noting that all our fraction recursions emit alternatives that either
+    start with a digit literal or are exactly epsilon.  We therefore strip
+    top-level epsilon alternatives structurally.
+    """
+    stripped = _strip_epsilon(frac_node)
+    if stripped is NEVER:
+        return NEVER
+    return concat(lit("."), stripped)
+
+
+def _strip_epsilon(node):
+    """Remove the empty string from a fraction pattern's language.
+
+    Works for the shapes produced by the ``_frac_*`` recursions: top-level
+    alternations whose branches are epsilon, Opt, Star, or digit-leading
+    concatenations.
+    """
+    from . import ast as rast
+
+    if node is EPSILON or isinstance(node, rast.Epsilon):
+        return NEVER
+    if isinstance(node, rast.Alt):
+        branches = [_strip_epsilon(o) for o in node.options]
+        return alt(*branches)
+    if isinstance(node, rast.Opt):
+        return node.inner
+    if isinstance(node, rast.Star):
+        return plus(node.inner)
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Decimal bound parsing
+# ---------------------------------------------------------------------------
+
+class DecimalBound:
+    """An exact decimal bound: sign, integer digits, fraction digits."""
+
+    __slots__ = ("negative", "int_part", "frac_part")
+
+    def __init__(self, negative, int_part, frac_part):
+        self.negative = negative
+        self.int_part = int_part  # int
+        self.frac_part = frac_part  # digit string, trailing zeros stripped
+
+    @classmethod
+    def parse(cls, text):
+        text = str(text).strip()
+        if not text:
+            raise RangeBoundError("empty numeric bound")
+        negative = text.startswith("-")
+        if text[0] in "+-":
+            text = text[1:]
+        if "e" in text or "E" in text:
+            raise RangeBoundError(
+                f"exponent notation not supported in bounds: {text!r}"
+            )
+        int_text, _, frac_text = text.partition(".")
+        if int_text == "":
+            int_text = "0"
+        if not int_text.isdigit() or (frac_text and not frac_text.isdigit()):
+            raise RangeBoundError(f"malformed numeric bound: {text!r}")
+        frac = _strip_frac(frac_text)
+        value = cls(negative, int(int_text), frac)
+        if value.is_zero():
+            value.negative = False
+        return value
+
+    def is_zero(self):
+        return self.int_part == 0 and not self.frac_part
+
+    def is_integer(self):
+        return not self.frac_part
+
+    def magnitude(self):
+        return DecimalBound(False, self.int_part, self.frac_part)
+
+    def __repr__(self):
+        sign = "-" if self.negative else ""
+        frac = f".{self.frac_part}" if self.frac_part else ""
+        return f"DecimalBound({sign}{self.int_part}{frac})"
+
+
+def _frac_cmp(a, b):
+    """Compare fraction digit strings numerically: -1, 0, or 1."""
+    width = max(len(a), len(b))
+    a = a.ljust(width, "0")
+    b = b.ljust(width, "0")
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def _magnitude_le(a, b):
+    if a.int_part != b.int_part:
+        return a.int_part < b.int_part
+    return _frac_cmp(a.frac_part, b.frac_part) <= 0
+
+
+def _bound_le(a, b):
+    if a.negative and not b.negative:
+        return True
+    if not a.negative and b.negative:
+        return False
+    if a.negative:
+        return _magnitude_le(b.magnitude(), a.magnitude())
+    return _magnitude_le(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+def integer_range_regex(lo, hi):
+    """Regex AST for decimal integer tokens with ``lo <= value <= hi``.
+
+    Either bound may be ``None`` for an open side.  Handles negatives and
+    the ``-0`` corner case (accepted whenever 0 is in range).
+    """
+    if lo is not None and hi is not None and lo > hi:
+        raise RangeBoundError(f"empty range [{lo}, {hi}]")
+    options = []
+    # non-negative branch
+    if hi is None or hi >= 0:
+        pos_lo = 0 if lo is None else max(lo, 0)
+        options.append(_uint_range(pos_lo, hi))
+    # negative branch (value in [lo, min(hi, -1)])
+    if lo is None:
+        mag_lo = 1 if (hi is None or hi >= 0) else -hi
+        options.append(concat(lit("-"), _uint_range(mag_lo, None)))
+    elif lo < 0:
+        mag_hi = -lo
+        mag_lo = 1 if (hi is None or hi >= 0) else -hi
+        options.append(concat(lit("-"), _uint_range(mag_lo, mag_hi)))
+    # "-0" is numerically zero
+    zero_in_range = (lo is None or lo <= 0) and (hi is None or hi >= 0)
+    if zero_in_range:
+        options.append(concat(lit("-"), lit("0")))
+    return alt(*options)
+
+
+def _nonneg_decimal_range(lo, hi):
+    """Decimal tokens (no sign) for magnitude range [lo, hi].
+
+    ``lo``/``hi`` are :class:`DecimalBound` magnitudes; ``hi=None`` means
+    unbounded above.  Tokens look like ``int`` or ``int.frac``.
+    """
+    li = lo.int_part
+    if hi is None:
+        # int part > li with any fraction, or == li with fraction >= lo.frac
+        with_bigger_int = concat(
+            _uint_range(li + 1, None), opt(concat(lit("."), plus(_DIGIT)))
+        )
+        at_li = concat(_int_literal(li), _frac_ge_suffix(lo.frac_part))
+        return alt(at_li, with_bigger_int)
+    ui = hi.int_part
+    if li > ui:
+        return NEVER
+    if li == ui:
+        if _frac_cmp(lo.frac_part, hi.frac_part) > 0:
+            return NEVER
+        return concat(
+            _int_literal(li),
+            _frac_between_suffix(lo.frac_part, hi.frac_part),
+        )
+    options = [concat(_int_literal(li), _frac_ge_suffix(lo.frac_part))]
+    if ui - li >= 2:
+        options.append(
+            concat(
+                _uint_range(li + 1, ui - 1),
+                opt(concat(lit("."), plus(_DIGIT))),
+            )
+        )
+    options.append(concat(_int_literal(ui), _frac_le_suffix(hi.frac_part)))
+    return alt(*options)
+
+
+def _int_literal(value):
+    return lit(str(value))
+
+
+def _frac_ge_suffix(frac):
+    """Suffix after the integer part for "fraction >= 0.frac"."""
+    if not frac:
+        return opt(concat(lit("."), plus(_DIGIT)))
+    return _dot_frac(_frac_ge(frac))
+
+
+def _frac_le_suffix(frac):
+    """Suffix after the integer part for "fraction <= 0.frac"."""
+    suffix = _dot_frac(_frac_le(frac))
+    return alt(EPSILON, suffix)
+
+
+def _frac_between_suffix(lo_frac, hi_frac):
+    options = []
+    if not lo_frac:
+        options.append(EPSILON)
+    body = _dot_frac(_frac_between(lo_frac, hi_frac))
+    options.append(body)
+    return alt(*options)
+
+
+def decimal_range_regex(lo, hi):
+    """Regex AST for decimal tokens (int or int.frac) in ``[lo, hi]``.
+
+    Bounds are decimal strings/numbers; either may be ``None``.
+    """
+    lo_bound = DecimalBound.parse(lo) if lo is not None else None
+    hi_bound = DecimalBound.parse(hi) if hi is not None else None
+    if lo_bound and hi_bound and not _bound_le(lo_bound, hi_bound):
+        raise RangeBoundError(f"empty range [{lo}, {hi}]")
+
+    zero = DecimalBound(False, 0, "")
+    options = []
+    # non-negative branch
+    if hi_bound is None or not hi_bound.negative:
+        pos_lo = zero
+        if lo_bound is not None and not lo_bound.negative:
+            pos_lo = lo_bound
+        pos_hi = hi_bound
+        options.append(_nonneg_decimal_range(pos_lo, pos_hi))
+    # negative branch: value in [lo, min(hi, 0)); magnitudes flip
+    if lo_bound is None:
+        mag_lo = hi_bound.magnitude() if (
+            hi_bound is not None and hi_bound.negative
+        ) else zero
+        options.append(
+            concat(lit("-"), _nonneg_decimal_range(mag_lo, None))
+        )
+    elif lo_bound.negative:
+        mag_hi = lo_bound.magnitude()
+        mag_lo = hi_bound.magnitude() if (
+            hi_bound is not None and hi_bound.negative
+        ) else zero
+        options.append(
+            concat(lit("-"), _nonneg_decimal_range(mag_lo, mag_hi))
+        )
+    return alt(*options)
+
+
+def exponent_escape_regex():
+    """The paper's exponent rule: accept any token with a digit then e/E.
+
+    Scientific notation can encode the same value in unboundedly many ways
+    (``1e+1``, ``10``, ``100e-1``...), which no DFA over the digits can
+    range-check.  The paper therefore accepts every candidate number token
+    that contains at least one digit immediately followed by ``e``/``E`` —
+    a false-positive source, never a false-negative one.
+    """
+    token_char = Literal(CharClass.number_token_chars())
+    return concat(
+        star(token_char),
+        _DIGIT,
+        Literal(CharClass.of("e", "E")),
+        star(token_char),
+    )
+
+
+def number_range_regex(lo, hi, kind="float", allow_exponent=True):
+    """Complete token regex for a number-range raw filter.
+
+    Args:
+        lo, hi: bounds (ints, floats, or decimal strings); ``None`` = open.
+        kind: ``"int"`` for integer-only matching (a token like ``12.5``
+            will *not* match an int filter — its DFA dies on the ``.``),
+            ``"float"`` to accept integer and fractional tokens.
+        allow_exponent: include the exponent escape hatch (paper default).
+    """
+    if lo is None and hi is None:
+        raise RangeBoundError("at least one bound is required")
+    if kind == "int":
+        lo_int = int(lo) if lo is not None else None
+        hi_int = int(hi) if hi is not None else None
+        body = integer_range_regex(lo_int, hi_int)
+    elif kind == "float":
+        body = decimal_range_regex(lo, hi)
+    else:
+        raise RangeBoundError(f"unknown number kind {kind!r}")
+    if allow_exponent:
+        return alt(body, exponent_escape_regex())
+    return body

@@ -1,0 +1,24 @@
+"""System-level simulation of the paper's Fig. 4 architecture."""
+
+from .dma import DMAConfig, DMAEngine
+from .multi import (
+    MultiStreamSoC,
+    ReconfigurableSoC,
+    StreamAssignment,
+    reconfiguration_seconds,
+)
+from .pipeline import FilterLane
+from .soc import RawFilterSoC, SoCConfig, ThroughputReport
+
+__all__ = [
+    "DMAConfig",
+    "DMAEngine",
+    "MultiStreamSoC",
+    "ReconfigurableSoC",
+    "StreamAssignment",
+    "reconfiguration_seconds",
+    "FilterLane",
+    "RawFilterSoC",
+    "SoCConfig",
+    "ThroughputReport",
+]

@@ -1,0 +1,27 @@
+"""Shared fixtures: small datasets and common raw-filter expressions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import load_dataset
+
+
+@pytest.fixture(scope="session")
+def smartcity_small():
+    return load_dataset("smartcity", 400)
+
+
+@pytest.fixture(scope="session")
+def taxi_small():
+    return load_dataset("taxi", 400)
+
+
+@pytest.fixture(scope="session")
+def twitter_small():
+    return load_dataset("twitter", 400)
+
+
+@pytest.fixture(scope="session")
+def sample_records(smartcity_small):
+    return smartcity_small.records[:32]

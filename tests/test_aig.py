@@ -1,0 +1,192 @@
+"""Unit tests for the and-inverter graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynthesisError
+from repro.hw.aig import AIG, FALSE, TRUE, node_of, sign_of
+
+
+class TestSimplification:
+    def test_and_with_false(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.land(a, FALSE) == FALSE
+
+    def test_and_with_true(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.land(a, TRUE) == a
+
+    def test_and_idempotent(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.land(a, a) == a
+
+    def test_and_with_own_complement(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.land(a, aig.lnot(a)) == FALSE
+
+    def test_structural_hashing(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        first = aig.land(a, b)
+        second = aig.land(b, a)  # commuted
+        assert first == second
+        assert aig.num_ands == 1
+
+    def test_not_is_free(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.lnot(aig.lnot(a)) == a
+        assert aig.num_ands == 0
+
+
+class TestGates:
+    def _two_inputs(self):
+        aig = AIG()
+        return aig, aig.add_input(), aig.add_input()
+
+    @pytest.mark.parametrize("va", [False, True])
+    @pytest.mark.parametrize("vb", [False, True])
+    def test_or_truth_table(self, va, vb):
+        aig, a, b = self._two_inputs()
+        out = aig.lor(a, b)
+        result = aig.eval_literals(
+            [out], {node_of(a): va, node_of(b): vb}
+        )[0]
+        assert result == (va or vb)
+
+    @pytest.mark.parametrize("va", [False, True])
+    @pytest.mark.parametrize("vb", [False, True])
+    def test_xor_truth_table(self, va, vb):
+        aig, a, b = self._two_inputs()
+        out = aig.lxor(a, b)
+        result = aig.eval_literals(
+            [out], {node_of(a): va, node_of(b): vb}
+        )[0]
+        assert result == (va != vb)
+
+    def test_mux(self):
+        aig = AIG()
+        s, t, f = aig.add_input(), aig.add_input(), aig.add_input()
+        out = aig.mux(s, t, f)
+        for sel in (False, True):
+            for tv in (False, True):
+                for fv in (False, True):
+                    got = aig.eval_literals(
+                        [out],
+                        {node_of(s): sel, node_of(t): tv, node_of(f): fv},
+                    )[0]
+                    assert got == (tv if sel else fv)
+
+    def test_and_reduce_empty(self):
+        aig = AIG()
+        assert aig.and_reduce([]) == TRUE
+
+    def test_or_reduce_empty(self):
+        aig = AIG()
+        assert aig.or_reduce([]) == FALSE
+
+    def test_reduce_many(self):
+        aig = AIG()
+        inputs = [aig.add_input() for _ in range(9)]
+        out = aig.and_reduce(inputs)
+        all_true = {node_of(i): True for i in inputs}
+        assert aig.eval_literals([out], all_true)[0]
+        one_false = dict(all_true)
+        one_false[node_of(inputs[4])] = False
+        assert not aig.eval_literals([out], one_false)[0]
+
+
+class TestSimulation:
+    def test_bit_parallel_patterns(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        out = aig.land(a, b)
+        values = aig.simulate(
+            {node_of(a): np.uint64(0b1100), node_of(b): np.uint64(0b1010)}
+        )
+        assert int(aig.literal_value(values, out)) & 0xF == 0b1000
+
+    def test_complemented_output(self):
+        aig = AIG()
+        a = aig.add_input()
+        values = aig.simulate({node_of(a): np.uint64(1)})
+        assert int(aig.literal_value(values, aig.lnot(a))) & 1 == 0
+
+
+class TestTruthTables:
+    def test_and_table(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        out = aig.land(a, b)
+        table = aig.cut_truth_table(out, [node_of(a), node_of(b)])
+        assert table == 0b1000
+
+    def test_xor_table(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        out = aig.lxor(a, b)
+        table = aig.cut_truth_table(out, [node_of(a), node_of(b)])
+        assert table == 0b0110
+
+    def test_wide_function(self):
+        aig = AIG()
+        inputs = [aig.add_input() for _ in range(7)]
+        out = aig.and_reduce(inputs)
+        table = aig.cut_truth_table(out, [node_of(i) for i in inputs])
+        # only the all-ones row is set
+        assert table == 1 << 127
+
+    def test_cone_escape_detected(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        out = aig.land(a, b)
+        with pytest.raises(SynthesisError):
+            aig.cut_truth_table(out, [node_of(a)])  # b missing
+
+    def test_too_wide_rejected(self):
+        aig = AIG()
+        inputs = [aig.add_input() for _ in range(17)]
+        out = aig.and_reduce(inputs)
+        with pytest.raises(SynthesisError):
+            aig.cut_truth_table(out, [node_of(i) for i in inputs])
+
+
+class TestAnalysis:
+    def test_cone_nodes(self):
+        aig = AIG()
+        a, b, c = (aig.add_input() for _ in range(3))
+        ab = aig.land(a, b)
+        abc = aig.land(ab, c)
+        unrelated = aig.land(a, c)
+        cone = aig.cone_nodes([abc])
+        assert node_of(ab) in cone
+        assert node_of(abc) in cone
+        assert node_of(unrelated) not in cone
+
+    def test_levels(self):
+        aig = AIG()
+        inputs = [aig.add_input() for _ in range(4)]
+        out = aig.and_reduce(inputs)
+        levels = aig.levels()
+        assert levels[node_of(out)] == 2  # balanced tree of 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.booleans(), min_size=3, max_size=8))
+def test_reduce_matches_python(values):
+    aig = AIG()
+    inputs = [aig.add_input() for _ in values]
+    conj = aig.and_reduce(inputs)
+    disj = aig.or_reduce(inputs)
+    parity = aig.xor_reduce(inputs)
+    assignment = {node_of(lit): val for lit, val in zip(inputs, values)}
+    got = aig.eval_literals([conj, disj, parity], assignment)
+    assert got[0] == all(values)
+    assert got[1] == any(values)
+    assert got[2] == (sum(values) % 2 == 1)

@@ -1,0 +1,141 @@
+"""Unit tests for the Sparser baseline and the exact oracle."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    Cascade,
+    ExactFilter,
+    KeyValueProbe,
+    SubstringProbe,
+    candidate_probes,
+    filtered_pipeline_stats,
+    optimize_cascade,
+)
+from repro.data import QS0, QT, load_dataset
+from repro.errors import QueryError
+
+
+class TestSubstringProbe:
+    def test_matches(self):
+        probe = SubstringProbe("temp")
+        assert probe.matches(b'{"n":"temperature"}')
+        assert not probe.matches(b'{"n":"humidity"}')
+
+    def test_match_array(self, smartcity_small):
+        probe = SubstringProbe("temperature")
+        mask = probe.match_array(smartcity_small)
+        want = [b"temperature" in r for r in smartcity_small]
+        assert mask.tolist() == want
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryError):
+            SubstringProbe("")
+
+
+class TestKeyValueProbe:
+    def test_co_occurrence_within_window(self):
+        probe = KeyValueProbe('"n":', '"temperature"', window=16)
+        assert probe.matches(b'{"v":"1","n":"temperature"}')
+
+    def test_outside_window_rejected(self):
+        probe = KeyValueProbe('"n":', '"temperature"', window=2)
+        assert not probe.matches(
+            b'{"n":"xxxxxxxxxxxxxxxx","z":"temperature"}'
+        )
+
+    def test_retries_later_key_occurrences(self):
+        probe = KeyValueProbe(b"k", b"v", window=3)
+        assert probe.matches(b"k...........k.v")
+
+
+class TestCandidateProbes:
+    def test_lengths(self):
+        probes = candidate_probes(["temperature"])
+        lengths = {len(p.needle) for p in probes}
+        assert lengths == {2, 4, 8}
+
+    def test_short_terms_skip_long_probes(self):
+        probes = candidate_probes(["user"])
+        assert {len(p.needle) for p in probes} == {2, 4}
+
+    def test_deduplication(self):
+        probes = candidate_probes(["aaaa"])
+        needles = [p.needle for p in probes]
+        assert len(needles) == len(set(needles))
+
+
+class TestOptimizer:
+    def test_picks_selective_probe(self, taxi_small):
+        cascade = optimize_cascade(
+            ["tolls_amount"], taxi_small, max_probes=1
+        )
+        rate = cascade.match_array(taxi_small).mean()
+        # tolls_amount appears in ~12% of trips; a good probe gets close
+        assert rate < 0.5
+
+    def test_cascade_is_sound_for_conjunctive_query(self, taxi_small):
+        """Records matching QT all contain the probed substrings."""
+        terms = [c.attribute for c in QT.conditions]
+        cascade = optimize_cascade(terms, taxi_small, max_probes=2)
+        accepted = cascade.match_array(taxi_small)
+        truth = QT.truth_array(taxi_small)
+        assert not (truth & ~accepted).any()
+
+    def test_cascade_depth_limit(self, smartcity_small):
+        terms = [c.attribute for c in QS0.conditions]
+        cascade = optimize_cascade(terms, smartcity_small, max_probes=3)
+        assert len(cascade.probes) <= 3
+
+    def test_sparser_cannot_use_numeric_selectivity(self, smartcity_small):
+        """The paper's core argument: string-only RFs stall on IoT data.
+
+        QS0's selectivity comes from value ranges; every SmartCity record
+        contains all the attribute names, so Sparser's best cascade still
+        passes nearly everything that has the keys.
+        """
+        terms = [c.attribute for c in QS0.conditions]
+        cascade = optimize_cascade(terms, smartcity_small, max_probes=2)
+        accepted = cascade.match_array(smartcity_small)
+        truth = QS0.truth_array(smartcity_small)
+        from repro.eval.metrics import FilterMetrics
+
+        sparser_fpr = FilterMetrics(accepted, truth).fpr
+        assert sparser_fpr > 0.5  # string probes cannot discriminate
+
+    def test_empty_terms_rejected(self, smartcity_small):
+        with pytest.raises(QueryError):
+            optimize_cascade([], smartcity_small)
+
+
+class TestExactOracle:
+    def test_counts_work(self, smartcity_small):
+        oracle = ExactFilter(QS0)
+        record = smartcity_small.records[0]
+        oracle.matches(record)
+        assert oracle.records_parsed == 1
+        assert oracle.bytes_parsed == len(record)
+
+    def test_match_array_equals_truth(self, smartcity_small):
+        oracle = ExactFilter(QS0)
+        got = oracle.match_array(smartcity_small)
+        assert got.tolist() == QS0.truth_array(smartcity_small).tolist()
+
+    def test_pipeline_stats(self, smartcity_small):
+        truth = QS0.truth_array(smartcity_small)
+        stats = filtered_pipeline_stats(truth, smartcity_small, QS0)
+        assert stats["missing_matches"] == 0
+        assert (
+            stats["records_parsed_filtered"]
+            <= stats["records_parsed_unfiltered"]
+        )
+        assert (
+            stats["bytes_parsed_filtered"]
+            <= stats["bytes_parsed_unfiltered"]
+        )
+
+    def test_pipeline_stats_detects_false_negatives(self, smartcity_small):
+        truth = QS0.truth_array(smartcity_small)
+        broken = np.zeros_like(truth)
+        stats = filtered_pipeline_stats(broken, smartcity_small, QS0)
+        assert stats["missing_matches"] == int(truth.sum())

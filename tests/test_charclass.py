@@ -1,0 +1,185 @@
+"""Unit tests for repro.regex.charclass."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.regex.charclass import (
+    ALPHABET_SIZE,
+    CharClass,
+    NUMBER_TOKEN_CHARS,
+    partition_classes,
+)
+
+
+class TestConstruction:
+    def test_empty_has_no_members(self):
+        assert len(CharClass.empty()) == 0
+        assert not CharClass.empty()
+
+    def test_full_has_all_members(self):
+        assert len(CharClass.full()) == ALPHABET_SIZE
+
+    def test_of_characters(self):
+        cls = CharClass.of("a", "b")
+        assert "a" in cls
+        assert "b" in cls
+        assert "c" not in cls
+
+    def test_of_integer_codes(self):
+        cls = CharClass.of(0, 255)
+        assert 0 in cls
+        assert 255 in cls
+        assert 1 not in cls
+
+    def test_of_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CharClass.of(256)
+
+    def test_from_string(self):
+        cls = CharClass.from_string("temperature")
+        # duplicates collapse
+        assert len(cls) == len(set("temperature"))
+
+    def test_range(self):
+        digits = CharClass.range("0", "9")
+        assert all(chr(c) in digits for c in range(ord("0"), ord("9") + 1))
+        assert "a" not in digits
+
+    def test_range_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            CharClass.range("9", "0")
+
+    def test_digit_range(self):
+        cls = CharClass.digit_range(4, 9)
+        assert "4" in cls and "9" in cls and "3" not in cls
+
+    def test_digit_range_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            CharClass.digit_range(5, 4)
+
+    def test_number_token_chars_content(self):
+        cls = CharClass.number_token_chars()
+        for ch in "0123456789+-.eE":
+            assert ch in cls
+        assert " " not in cls
+        assert len(NUMBER_TOKEN_CHARS) == len(cls)
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert len(CharClass.of("a") | CharClass.of("b")) == 2
+
+    def test_intersect(self):
+        left = CharClass.range("a", "m")
+        right = CharClass.range("g", "z")
+        inter = left & right
+        assert "g" in inter and "m" in inter
+        assert "a" not in inter and "z" not in inter
+
+    def test_difference(self):
+        digits = CharClass.digits()
+        low = CharClass.digit_range(0, 4)
+        assert (digits - low) == CharClass.digit_range(5, 9)
+
+    def test_complement_involution(self):
+        cls = CharClass.from_string("xyz")
+        assert ~~cls == cls
+
+    def test_complement_size(self):
+        cls = CharClass.of("a")
+        assert len(~cls) == ALPHABET_SIZE - 1
+
+    def test_immutability(self):
+        cls = CharClass.of("a")
+        with pytest.raises(AttributeError):
+            cls.mask = 0
+
+
+class TestQueries:
+    def test_ranges_contiguous(self):
+        cls = CharClass.range("a", "c") | CharClass.of("x")
+        assert cls.ranges() == [(ord("a"), ord("c")), (ord("x"), ord("x"))]
+
+    def test_chars_sorted(self):
+        cls = CharClass.of("z", "a", "m")
+        assert [chr(c) for c in cls.chars()] == ["a", "m", "z"]
+
+    def test_pattern_single_char(self):
+        assert CharClass.of("a").pattern() == "a"
+
+    def test_pattern_range(self):
+        assert CharClass.range("0", "9").pattern() == "[0-9]"
+
+    def test_pattern_full(self):
+        assert CharClass.full().pattern() == "."
+
+    def test_pattern_escapes_special(self):
+        assert "\\" in CharClass.of("]").pattern()
+
+    def test_hashable_and_equal(self):
+        assert CharClass.of("a", "b") == CharClass.from_string("ba")
+        assert hash(CharClass.of("a")) == hash(CharClass.of("a"))
+
+
+class TestPartition:
+    def test_disjoint_atoms(self):
+        classes = [CharClass.range("0", "9"), CharClass.digit_range(3, 5)]
+        atoms = partition_classes(classes)
+        for i, a in enumerate(atoms):
+            for b in atoms[i + 1:]:
+                assert (a & b).is_empty()
+
+    def test_union_preserved(self):
+        classes = [CharClass.range("a", "m"), CharClass.range("g", "z")]
+        atoms = partition_classes(classes)
+        union = CharClass.empty()
+        for atom in atoms:
+            union = union | atom
+        expected = classes[0] | classes[1]
+        assert union == expected
+
+    def test_each_class_is_union_of_atoms(self):
+        classes = [
+            CharClass.range("0", "9"),
+            CharClass.digit_range(2, 7),
+            CharClass.of("5"),
+        ]
+        atoms = partition_classes(classes)
+        for cls in classes:
+            covered = CharClass.empty()
+            for atom in atoms:
+                inter = atom & cls
+                assert inter.is_empty() or inter == atom
+                covered = covered | inter
+            assert covered == cls
+
+    def test_empty_input(self):
+        assert partition_classes([]) == []
+
+    def test_skips_empty_classes(self):
+        atoms = partition_classes([CharClass.empty(), CharClass.of("a")])
+        assert len(atoms) == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 255), st.integers(0, 255)
+            ).map(lambda t: CharClass.range(min(t), max(t))),
+            max_size=6,
+        )
+    )
+    def test_partition_property(self, classes):
+        atoms = partition_classes(classes)
+        # pairwise disjoint
+        for i, a in enumerate(atoms):
+            for b in atoms[i + 1:]:
+                assert (a & b).is_empty()
+        # every input is a disjoint union of atoms
+        for cls in classes:
+            total = 0
+            for atom in atoms:
+                inter = atom & cls
+                assert inter.is_empty() or inter == atom
+                total += len(inter)
+            assert total == len(cls)

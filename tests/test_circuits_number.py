@@ -1,0 +1,175 @@
+"""Gate-level number filters vs behavioural models (paper §III-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.composition as comp
+from repro.core.number_filter import NumberRangeFilter
+from repro.errors import SynthesisError
+from repro.hw.gatesim import CycleSimulator
+from repro.hw.circuits import number_filter_circuit
+from repro.hw.circuits.dfa_circuit import choose_encoding, dfa_state_machine
+from repro.hw.rtl import Circuit
+from repro.regex.dfa import DFA
+from repro.regex.parser import parse_regex
+
+
+def gate_trace(circuit, stream):
+    sim = CycleSimulator(circuit)
+    return sim.run_stream(stream, extra_inputs={"record_reset": 0})
+
+
+def behavioural_trace(predicate, stream):
+    arr = np.frombuffer(stream, dtype=np.uint8)
+    return predicate.fire_array(arr).tolist()
+
+
+class TestNumberFilterCircuit:
+    @pytest.mark.parametrize(
+        "lo,hi,kind",
+        [
+            (12, 49, "int"),
+            ("0.7", "35.1", "float"),
+            ("-12.5", "43.1", "float"),
+            (1345, 26282, "int"),
+        ],
+    )
+    def test_gate_equals_behavioural(self, lo, hi, kind):
+        predicate = comp.NumberPredicate(lo, hi, kind=kind)
+        circuit = number_filter_circuit(predicate.dfa, name="probe")
+        stream = (
+            b'{"a":13,"b":"35.2","c":-12.5,"d":2e3,"e":"0.7","f":1345}\n'
+        )
+        assert gate_trace(circuit, stream)["fire"] == behavioural_trace(
+            predicate, stream
+        )
+
+    def test_fire_at_delimiter_cycle(self):
+        predicate = comp.NumberPredicate(12, 49, kind="int")
+        circuit = number_filter_circuit(predicate.dfa)
+        trace = gate_trace(circuit, b"13}")["fire"]
+        # the '}' is the delimiter that evaluates the token
+        assert trace == [False, False, True]
+
+    def test_number_at_record_end_needs_terminator(self):
+        predicate = comp.NumberPredicate(12, 49, kind="int")
+        circuit = number_filter_circuit(predicate.dfa)
+        unterminated = gate_trace(circuit, b"13")["fire"]
+        assert not any(unterminated)
+        terminated = gate_trace(circuit, b"13\n")["fire"]
+        assert any(terminated)
+
+    def test_quoted_numbers_found(self):
+        """SenML stores numbers as strings; raw filters see digit runs."""
+        predicate = comp.NumberPredicate("0.7", "35.1")
+        circuit = number_filter_circuit(predicate.dfa)
+        assert any(gate_trace(circuit, b'"v":"30.2",')["fire"])
+
+    def test_exponent_escape_in_gate_level(self):
+        predicate = comp.NumberPredicate(12, 49, kind="int")
+        circuit = number_filter_circuit(predicate.dfa)
+        assert any(gate_trace(circuit, b"x 7e9 x")["fire"])
+
+    def test_match_sticky_until_reset(self):
+        predicate = comp.NumberPredicate(12, 49, kind="int")
+        circuit = number_filter_circuit(predicate.dfa)
+        sim = CycleSimulator(circuit)
+        trace = sim.run_stream(b"13, then text",
+                               extra_inputs={"record_reset": 0})
+        assert trace["match"][-1]
+        sim.step({"byte": 0, "record_reset": 1})
+        out = sim.step({"byte": ord("x"), "record_reset": 0})
+        assert not out["match"]
+
+    def test_rejects_epsilon_accepting_dfa(self):
+        dfa = DFA.from_regex(parse_regex("a*"))
+        with pytest.raises(SynthesisError):
+            number_filter_circuit(dfa)
+
+    def test_splits_tokens_on_any_nonnumeric(self):
+        predicate = comp.NumberPredicate(12, 49, kind="int")
+        circuit = number_filter_circuit(predicate.dfa)
+        # "1x3" is two tokens "1" and "3", neither in range
+        assert not any(gate_trace(circuit, b"1x3 ")["fire"])
+
+
+class TestEncodings:
+    @pytest.mark.parametrize("encoding", ["binary", "onehot"])
+    def test_both_encodings_functionally_equal(self, encoding):
+        dfa = DFA.from_pattern("(ab)+|cd*")
+        circuit = Circuit("probe")
+        byte = circuit.add_input_vector("byte", 8)
+        reset = circuit.add_input("record_reset")
+        _, accepting, _ = dfa_state_machine(
+            circuit, dfa, byte, reset=reset, encoding=encoding
+        )
+        circuit.add_output("acc", accepting)
+        sim = CycleSimulator(circuit)
+        stream = b"ababcdddab"
+        trace = sim.run_stream(stream, extra_inputs={"record_reset": 0})
+        # Moore output: accepting AFTER byte i arrives on cycle i+1
+        state = dfa.start
+        expected = []
+        for byte_value in stream:
+            expected.append(bool(dfa.accepting[state]))
+            state = dfa.step(state, byte_value)
+        assert trace["acc"] == expected
+
+    def test_choose_encoding_cached_and_valid(self):
+        dfa = DFA.from_pattern("[0-9]{3}")
+        first = choose_encoding(dfa.hardware_reordered())
+        second = choose_encoding(dfa.hardware_reordered())
+        assert first == second
+        assert first in ("binary", "onehot")
+
+    def test_auto_picks_cheaper(self):
+        dfa = NumberRangeFilter("83.36", "3322.67").dfa
+        counts = {}
+        for encoding in ("binary", "onehot"):
+            circuit = Circuit("probe")
+            byte = circuit.add_input_vector("byte", 8)
+            reset = circuit.add_input("r")
+            _, acc, acc_after = dfa_state_machine(
+                circuit, dfa, byte, reset=reset, encoding=encoding
+            )
+            circuit.add_output("a", acc)
+            circuit.add_output("b", acc_after)
+            counts[encoding] = circuit.lut_count()
+        chosen = choose_encoding(dfa.hardware_reordered())
+        assert counts[chosen] == min(counts.values())
+
+
+class TestResourceTrends:
+    def test_wider_ranges_cost_more_states(self):
+        narrow = NumberRangeFilter(12, 49, kind="int")
+        wide = NumberRangeFilter("83.36", "3322.67")
+        assert narrow.dfa.num_states < wide.dfa.num_states
+        narrow_luts = number_filter_circuit(narrow.dfa).lut_count()
+        wide_luts = number_filter_circuit(wide.dfa).lut_count()
+        assert narrow_luts < wide_luts
+
+    def test_single_range_beats_two_separate(self):
+        """§III-B: one automaton for [l,u] beats two one-sided ones."""
+        combined = number_filter_circuit(
+            NumberRangeFilter(12, 49, kind="int").dfa, name="c"
+        ).lut_count()
+        lower = number_filter_circuit(
+            NumberRangeFilter(12, None, kind="int").dfa, name="l"
+        ).lut_count()
+        upper = number_filter_circuit(
+            NumberRangeFilter(None, 49, kind="int").dfa, name="u"
+        ).lut_count()
+        assert combined < lower + upper
+
+
+@settings(max_examples=20, deadline=None)
+@given(stream=st.text(alphabet='0123456789.,-e {}":x', max_size=30))
+def test_gate_equals_behavioural_random(stream):
+    predicate = comp.NumberPredicate(12, 49, kind="int")
+    circuit = number_filter_circuit(predicate.dfa)
+    data = stream.encode("ascii")
+    assert gate_trace(circuit, data)["fire"] == behavioural_trace(
+        predicate, data
+    )

@@ -1,0 +1,188 @@
+"""Gate-level string matchers vs behavioural models (paper §III-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.string_match import (
+    reference_fire_trace,
+    substrings,
+    unique_substrings,
+)
+from repro.errors import SynthesisError
+from repro.hw.gatesim import CycleSimulator
+from repro.hw.circuits import (
+    dfa_string_matcher_circuit,
+    full_matcher_circuit,
+    substring_matcher_circuit,
+)
+from repro.hw.circuits.string_circuits import ngrams
+
+
+def gate_trace(circuit, stream):
+    sim = CycleSimulator(circuit)
+    return sim.run_stream(stream, extra_inputs={"record_reset": 0})
+
+
+class TestNgrams:
+    def test_table4_b1(self):
+        """Paper Table IV row B=1 (duplicates indicated in the paper)."""
+        assert substrings("temperature", 1) == [
+            c.encode() for c in "temperature"
+        ]
+        assert unique_substrings("temperature", 1) == [
+            b"t", b"e", b"m", b"p", b"r", b"a", b"u"
+        ]
+
+    def test_table4_b2(self):
+        assert substrings("temperature", 2) == [
+            b"te", b"em", b"mp", b"pe", b"er", b"ra", b"at",
+            b"tu", b"ur", b"re",
+        ]
+
+    def test_table4_b3(self):
+        assert substrings("temperature", 3)[:3] == [b"tem", b"emp", b"mpe"]
+        assert len(substrings("temperature", 3)) == 9
+
+    def test_table4_full(self):
+        assert substrings("temperature", 11) == [b"temperature"]
+
+    def test_ngrams_rejects_bad_block(self):
+        with pytest.raises(SynthesisError):
+            ngrams("abc", 4)
+        with pytest.raises(SynthesisError):
+            ngrams("abc", 0)
+
+
+class TestSubstringMatcherGateEquivalence:
+    @pytest.mark.parametrize("block", [1, 2, 3, 4])
+    def test_temperature_stream(self, block):
+        circuit = substring_matcher_circuit("temperature", block)
+        stream = (
+            b'{"n":"temperature","v":"35.2"} temperatura erutarepmet '
+            b"tttt eeee tem-per-a-ture"
+        )
+        got = gate_trace(circuit, stream)["fire"]
+        want = reference_fire_trace(stream, "temperature", block)
+        assert got == want
+
+    def test_b1_counts_any_letter_set_run(self):
+        """B=1 fires on any 4-run over {d,u,s,t} — e.g. 'stud'+1."""
+        circuit = substring_matcher_circuit("dust", 1)
+        trace = gate_trace(circuit, b"xx studt xx")["fire"]
+        assert any(trace)
+
+    def test_b2_rejects_letter_set_runs(self):
+        circuit = substring_matcher_circuit("dust", 2)
+        trace = gate_trace(circuit, b"xx studt xx")["fire"]
+        assert not any(trace)
+
+    def test_tolls_total_collision_b1(self):
+        """Table II: s1('tolls_amount') matches 'total_amount' (FPR 1.0)."""
+        circuit = substring_matcher_circuit("tolls_amount", 1)
+        trace = gate_trace(circuit, b'"total_amount":14.50')["fire"]
+        assert any(trace)
+
+    def test_tolls_total_collision_fixed_by_b2(self):
+        circuit = substring_matcher_circuit("tolls_amount", 2)
+        trace = gate_trace(circuit, b'"total_amount":14.50')["fire"]
+        assert not any(trace)
+        trace = gate_trace(circuit, b'"tolls_amount":4.50')["fire"]
+        assert any(trace)
+
+    def test_record_reset_clears_match(self):
+        circuit = substring_matcher_circuit("dust", 2)
+        sim = CycleSimulator(circuit)
+        sim.run_stream(b"dust", extra_inputs={"record_reset": 0})
+        out = sim.step({"byte": 0, "record_reset": 1})
+        assert out["match"]  # sampled before the edge
+        out = sim.step({"byte": 0, "record_reset": 0})
+        assert not out["match"]
+
+    def test_match_is_sticky(self):
+        circuit = substring_matcher_circuit("dust", 1)
+        trace = gate_trace(circuit, b"dust and more text")["match"]
+        first = trace.index(True)
+        assert all(trace[first:])
+
+
+class TestFullAndDfaMatchers:
+    def test_full_matcher_exact_only(self):
+        circuit = full_matcher_circuit("light")
+        assert any(gate_trace(circuit, b'"n":"light"')["fire"])
+        assert not any(gate_trace(circuit, b'"n":"lihgt"')["fire"])
+
+    def test_full_matcher_fire_positions(self):
+        circuit = full_matcher_circuit("ab")
+        trace = gate_trace(circuit, b"abab")["fire"]
+        assert trace == [False, True, False, True]
+
+    def test_dfa_matcher_absorbing(self):
+        circuit = dfa_string_matcher_circuit("ab")
+        trace = gate_trace(circuit, b"xxabxx")["fire"]
+        assert trace == [False, False, False, True, True, True]
+
+    def test_dfa_matcher_overlapping_needle(self):
+        """KMP behaviour: 'aab' inside 'aaab' must be found."""
+        circuit = dfa_string_matcher_circuit("aab")
+        assert any(gate_trace(circuit, b"aaab")["fire"])
+
+    def test_dfa_reset(self):
+        circuit = dfa_string_matcher_circuit("ab")
+        sim = CycleSimulator(circuit)
+        sim.run_stream(b"ab", extra_inputs={"record_reset": 0})
+        sim.step({"byte": 0, "record_reset": 1})
+        out = sim.run_stream(b"xx", extra_inputs={"record_reset": 0})
+        assert not any(out["fire"])
+
+
+class TestResourceTrends:
+    """The paper's qualitative LUT claims, derived from our mapper."""
+
+    def test_b1_is_cheapest_for_long_strings(self):
+        needle = "temperature"
+        b1 = substring_matcher_circuit(needle, 1).lut_count()
+        b2 = substring_matcher_circuit(needle, 2).lut_count()
+        full = full_matcher_circuit(needle).lut_count()
+        dfa = dfa_string_matcher_circuit(needle).lut_count()
+        assert b1 < b2
+        assert b1 < full
+        assert b1 < dfa
+
+    def test_substring_cost_grows_with_block(self):
+        needle = "trip_time_in_secs"
+        counts = [
+            substring_matcher_circuit(needle, block).lut_count()
+            for block in (1, 2, 4)
+        ]
+        assert counts[0] < counts[1] <= counts[2]
+
+    def test_exact_costs_grow_with_needle_length(self):
+        short = full_matcher_circuit("user").lut_count()
+        long = full_matcher_circuit("favourites_count").lut_count()
+        assert short < long
+        short_dfa = dfa_string_matcher_circuit("user").lut_count()
+        long_dfa = dfa_string_matcher_circuit("favourites_count").lut_count()
+        assert short_dfa < long_dfa
+
+    def test_b1_few_luts_headline(self):
+        """§III-A: B=1 matchers take on the order of ten LUTs."""
+        assert substring_matcher_circuit("temperature", 1).lut_count() < 25
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    needle=st.sampled_from(["dust", "user", "lang", "light"]),
+    block=st.integers(1, 4),
+    stream=st.binary(min_size=0, max_size=40),
+)
+def test_gate_equals_reference_on_random_streams(needle, block, stream):
+    if block > len(needle):
+        block = len(needle)
+    if b"\n" in stream:
+        stream = stream.replace(b"\n", b" ")
+    circuit = substring_matcher_circuit(needle, block)
+    got = gate_trace(circuit, stream)["fire"]
+    want = reference_fire_trace(stream, needle, block)
+    assert got == want

@@ -1,0 +1,203 @@
+"""Structural tracker: gate-level vs ScopeMachine vs vectorised closed form."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.structural import (
+    ScopeMachine,
+    comma_positions,
+    depth_array,
+    scope_close_positions,
+    string_mask,
+)
+from repro.hw.gatesim import CycleSimulator
+from repro.hw.circuits import add_structural_tracker, structural_group
+from repro.hw.rtl import Circuit
+
+
+def build_tracker_circuit():
+    circuit = Circuit("tracker")
+    byte = circuit.add_input_vector("byte", 8)
+    reset = circuit.add_input("record_reset")
+    signals = add_structural_tracker(circuit, byte, reset)
+    circuit.add_output("masked", signals.masked)
+    circuit.add_output("open", signals.open_bracket)
+    circuit.add_output("close", signals.close_bracket)
+    circuit.add_output("comma", signals.comma)
+    for i, bit in enumerate(signals.depth.bits):
+        circuit.add_output(f"depth{i}", bit)
+    return circuit
+
+
+def gate_structural_trace(stream):
+    circuit = build_tracker_circuit()
+    sim = CycleSimulator(circuit)
+    masked, opens, closes, commas, depths = [], [], [], [], []
+    for byte in stream:
+        out = sim.step({"byte": byte, "record_reset": 0})
+        masked.append(out["masked"])
+        opens.append(out["open"])
+        closes.append(out["close"])
+        commas.append(out["comma"])
+        depths.append(
+            sum(out[f"depth{i}"] << i for i in range(5))
+        )
+    return masked, opens, closes, commas, depths
+
+
+def scalar_structural_trace(stream):
+    machine = ScopeMachine()
+    masked, opens, closes, commas, depths = [], [], [], [], []
+    for byte in stream:
+        depths.append(machine.depth)
+        m, o, c, k = machine.step(byte)
+        masked.append(m)
+        opens.append(o)
+        closes.append(c)
+        commas.append(k)
+    return masked, opens, closes, commas, depths
+
+
+RECORD = (
+    b'{"e":[{"v":"35.2","u":"far","n":"temp\\"er{ature"},'
+    b'{"v":"12","u":"per","n":"humi[dity"}],"bt":1422748800000}'
+)
+
+
+class TestScalarVsVectorised:
+    def test_string_mask_on_record(self):
+        arr = np.frombuffer(RECORD, dtype=np.uint8)
+        vectorised = string_mask(arr)
+        scalar = scalar_structural_trace(RECORD)[0]
+        assert vectorised.tolist() == scalar
+
+    def test_depth_on_record(self):
+        arr = np.frombuffer(RECORD, dtype=np.uint8)
+        vectorised = depth_array(arr)
+        scalar = scalar_structural_trace(RECORD)[4]
+        assert vectorised.tolist() == scalar
+
+    def test_close_positions_on_record(self):
+        arr = np.frombuffer(RECORD, dtype=np.uint8)
+        closes = scope_close_positions(arr)
+        scalar_closes = [
+            i for i, c in enumerate(scalar_structural_trace(RECORD)[2]) if c
+        ]
+        assert closes.tolist() == scalar_closes
+
+    def test_comma_positions_exclude_strings(self):
+        data = b'{"a":"x,y",  "b":1},'
+        arr = np.frombuffer(data, dtype=np.uint8)
+        commas = comma_positions(arr)
+        # the comma inside "x,y" must be masked
+        for position in commas:
+            assert data[position] == ord(",")
+        assert 8 not in commas.tolist()
+
+    @settings(max_examples=60, deadline=None)
+    @given(stream=st.binary(max_size=60))
+    def test_mask_equivalence_on_arbitrary_bytes(self, stream):
+        arr = np.frombuffer(stream, dtype=np.uint8)
+        vectorised = string_mask(arr).tolist()
+        scalar = scalar_structural_trace(stream)[0]
+        assert vectorised == scalar
+
+
+class TestGateVsScalar:
+    def test_on_senml_record(self):
+        gate = gate_structural_trace(RECORD)
+        scalar = scalar_structural_trace(RECORD)
+        assert gate == scalar
+
+    def test_escaped_quotes(self):
+        data = b'{"k":"a\\"b\\\\","n":[1,2]}'
+        assert gate_structural_trace(data) == scalar_structural_trace(data)
+
+    def test_brackets_inside_strings_ignored(self):
+        data = b'{"k":"}{][","d":{"x":1}}'
+        gate = gate_structural_trace(data)
+        scalar = scalar_structural_trace(data)
+        assert gate == scalar
+        # depth must come back to 0 at the final close
+        assert scalar[4][-1] == 1  # before processing final '}'
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        stream=st.text(
+            alphabet='{}[]",\\ab:0', max_size=40
+        ).map(lambda s: s.encode())
+    )
+    def test_gate_equals_scalar_random(self, stream):
+        assert gate_structural_trace(stream) == (
+            scalar_structural_trace(stream)
+        )
+
+
+class TestStructuralGroupCircuit:
+    def build_group(self, comma_scoped=False):
+        """Group of two plain input fires (children driven externally)."""
+        circuit = Circuit("group")
+        byte = circuit.add_input_vector("byte", 8)
+        reset = circuit.add_input("record_reset")
+        fire_a = circuit.add_input("fire_a")
+        fire_b = circuit.add_input("fire_b")
+        signals = add_structural_tracker(circuit, byte, reset)
+        match = structural_group(
+            circuit, signals, [fire_a, fire_b],
+            record_reset=reset, comma_scoped=comma_scoped,
+        )
+        circuit.add_output("match", match)
+        return circuit
+
+    def run(self, circuit, events):
+        """events: list of (byte, fire_a, fire_b); returns final match."""
+        sim = CycleSimulator(circuit)
+        out = None
+        for byte, fa, fb in events:
+            out = sim.step(
+                {
+                    "byte": byte, "fire_a": fa, "fire_b": fb,
+                    "record_reset": 0,
+                }
+            )
+        return out["match"]
+
+    def test_same_scope_fires(self):
+        circuit = self.build_group()
+        events = [(ord("{"), 0, 0), (ord("a"), 1, 0), (ord("b"), 0, 1),
+                  (ord("}"), 0, 0), (ord("x"), 0, 0)]
+        assert self.run(circuit, events)
+
+    def test_different_scopes_do_not_combine(self):
+        circuit = self.build_group()
+        events = [
+            (ord("{"), 0, 0), (ord("a"), 1, 0), (ord("}"), 0, 0),
+            (ord("{"), 0, 0), (ord("b"), 0, 1), (ord("}"), 0, 0),
+            (ord("x"), 0, 0),
+        ]
+        assert not self.run(circuit, events)
+
+    def test_fire_on_closing_byte_counts(self):
+        """A number delimited by '}' fires on the close itself."""
+        circuit = self.build_group()
+        events = [(ord("{"), 0, 0), (ord("a"), 1, 0), (ord("}"), 0, 1),
+                  (ord("x"), 0, 0)]
+        assert self.run(circuit, events)
+
+    def test_comma_scoped_variant(self):
+        circuit = self.build_group(comma_scoped=True)
+        # fires split by a comma never combine
+        events = [(ord("{"), 0, 0), (ord("a"), 1, 0), (ord(","), 0, 0),
+                  (ord("b"), 0, 1), (ord("}"), 0, 0), (ord("x"), 0, 0)]
+        assert not self.run(circuit, events)
+
+    def test_masked_close_does_not_clear(self):
+        circuit = self.build_group()
+        events = [
+            (ord("{"), 0, 0), (ord('"'), 0, 0), (ord("}"), 1, 0),
+            (ord('"'), 0, 0),  # the '}' was inside a string
+            (ord("b"), 0, 1), (ord("}"), 0, 0), (ord("x"), 0, 0),
+        ]
+        assert self.run(circuit, events)

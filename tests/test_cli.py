@@ -1,0 +1,147 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+import repro.core.composition as comp
+from repro.cli import build_arg_parser, main, parse_filter_expression
+from repro.errors import QueryError
+
+
+class TestExpressionSyntax:
+    def test_string_primitive(self):
+        expr = parse_filter_expression("s:1:temperature")
+        assert expr == comp.s("temperature", 1)
+
+    def test_full_and_dfa_blocks(self):
+        assert parse_filter_expression("s:N:user") == comp.full("user")
+        assert parse_filter_expression("s:dfa:user") == comp.dfa("user")
+
+    def test_value_primitive_float(self):
+        expr = parse_filter_expression("v:float:0.7:35.1")
+        assert expr == comp.v("0.7", "35.1")
+
+    def test_value_primitive_int(self):
+        expr = parse_filter_expression("v:int:12:49")
+        assert expr == comp.v_int(12, 49)
+
+    def test_open_bound(self):
+        expr = parse_filter_expression("v:int:35:-")
+        assert expr.notation() == "v(35 <= i)"
+
+    def test_regex_primitive(self):
+        expr = parse_filter_expression("re:ab+c")
+        assert isinstance(expr, comp.RegexPredicate)
+
+    def test_regex_with_colons(self):
+        expr = parse_filter_expression("re:[0-2][0-9]:[0-5][0-9]")
+        assert expr.pattern == "[0-2][0-9]:[0-5][0-9]"
+
+    def test_and_composition(self):
+        expr = parse_filter_expression(
+            "and(s:1:temperature,v:float:0.7:35.1)"
+        )
+        assert isinstance(expr, comp.And)
+        assert len(expr.children) == 2
+
+    def test_group_composition(self):
+        expr = parse_filter_expression(
+            "group(s:1:temperature,v:float:0.7:35.1)"
+        )
+        assert isinstance(expr, comp.Group)
+
+    def test_kvgroup(self):
+        expr = parse_filter_expression("kvgroup(s:1:n,v:int:1:2)")
+        assert expr.comma_scoped
+
+    def test_nested_composition(self):
+        expr = parse_filter_expression(
+            "or(group(s:1:a,v:int:1:2),and(s:2:bc,v:float:0.5:1.5))"
+        )
+        assert isinstance(expr, comp.Or)
+        assert expr.notation().count("{") == 1
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "and()",
+            "s:1",
+            "v:int:1",
+            "x:1:abc",
+            "and(s:1:a",
+            "s:1:a)",
+            "group(and(s:1:a,s:1:b))",
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(QueryError):
+            parse_filter_expression(text)
+
+
+class TestCommands:
+    def test_generate_to_file(self, tmp_path, capsys):
+        out = tmp_path / "data.ndjson"
+        code = main([
+            "generate", "smartcity", "--records", "20",
+            "--output", str(out),
+        ])
+        assert code == 0
+        lines = out.read_bytes().strip().split(b"\n")
+        assert len(lines) == 20
+        from repro.jsonpath import loads
+
+        for line in lines:
+            loads(line)
+
+    def test_generate_seed_reproducible(self, tmp_path):
+        paths = []
+        for name in ("a", "b"):
+            out = tmp_path / name
+            main(["generate", "taxi", "--records", "10",
+                  "--seed", "5", "--output", str(out)])
+            paths.append(out.read_bytes())
+        assert paths[0] == paths[1]
+
+    def test_synth_command(self, capsys):
+        code = main(["synth", "group(s:1:temperature,v:float:0.7:35.1)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LUTs" in out
+        assert '{ s1("temperature") & v(0.7 <= f <= 35.1) }' in out
+
+    def test_synth_reports_error(self, capsys):
+        code = main(["synth", "bogus:stuff"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_filter_command(self, tmp_path, capsys):
+        source = tmp_path / "in.ndjson"
+        source.write_bytes(
+            b'{"n":"temperature","v":"30.0"}\n'
+            b'{"n":"temperature","v":"99.0"}\n'
+            b'{"n":"humidity","v":"30.0"}\n'
+        )
+        code = main([
+            "filter",
+            "group(s:1:temperature,v:float:0.7:35.1)",
+            "--input", str(source),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == '{"n":"temperature","v":"30.0"}'
+        assert "accepted 1/3" in captured.err
+
+    def test_explore_fast(self, capsys):
+        code = main([
+            "explore", "QT", "--records", "300", "--fast",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pareto front for QT" in out
+        assert "FPR" in out
+
+    def test_parser_structure(self):
+        parser = build_arg_parser()
+        args = parser.parse_args(["generate", "twitter"])
+        assert args.command == "generate"
+        assert args.records == 1000

@@ -1,0 +1,146 @@
+"""Composed raw-filter circuits vs behavioural evaluation (end to end)."""
+
+import pytest
+
+import repro.core.composition as comp
+from repro.core.cost import estimate_luts, exact_luts, tracker_luts
+from repro.hw.gatesim import CycleSimulator
+from repro.hw.circuits import build_raw_filter_circuit
+
+
+def gate_accepts(circuit, record):
+    sim = CycleSimulator(circuit)
+    trace = sim.run_stream(
+        record + b"\n", extra_inputs={"record_reset": 0}
+    )
+    return trace["accept"][-1]
+
+
+RECORDS = [
+    # matches: temperature in range, humidity in range
+    b'{"e":[{"v":"30.2","u":"far","n":"temperature"},'
+    b'{"v":"55.0","u":"per","n":"humidity"}],"bt":1422748800000}',
+    # temperature out of range
+    b'{"e":[{"v":"36.2","u":"far","n":"temperature"},'
+    b'{"v":"55.0","u":"per","n":"humidity"}],"bt":1422748800000}',
+    # humidity missing
+    b'{"e":[{"v":"30.2","u":"far","n":"temperature"}],"bt":1422748800000}',
+    # cross-attribute confusion: humidity value in temperature range
+    b'{"e":[{"v":"99.9","u":"far","n":"temperature"},'
+    b'{"v":"30.0","u":"per","n":"humidity"}],"bt":1422748800000}',
+]
+
+
+def expressions():
+    t_string = comp.s("temperature", 1)
+    t_value = comp.v("0.7", "35.1")
+    h_string = comp.s("humidity", 2)
+    h_value = comp.v("20.3", "69.1")
+    return {
+        "single_string": t_string,
+        "single_value": t_value,
+        "pair": comp.And([t_string, t_value]),
+        "group": comp.group(t_string, t_value),
+        "two_groups": comp.And(
+            [comp.group(t_string, t_value), comp.group(h_string, h_value)]
+        ),
+        "or_of_groups": comp.Or(
+            [comp.group(t_string, t_value), comp.group(h_string, h_value)]
+        ),
+        "mixed": comp.And(
+            [comp.group(t_string, t_value), h_value]
+        ),
+    }
+
+
+class TestGateEqualsBehavioural:
+    @pytest.mark.parametrize("name", list(expressions().keys()))
+    def test_all_expressions_all_records(self, name):
+        expr = expressions()[name]
+        circuit = build_raw_filter_circuit(expr)
+        for record in RECORDS:
+            assert gate_accepts(circuit, record) == (
+                comp.evaluate_record(expr, record)
+            ), (name, record)
+
+    def test_structural_discrimination(self):
+        """The running example: structure separates 35.2 from 12/20."""
+        expr = comp.group(comp.s("temperature", 1), comp.v("0.7", "35.1"))
+        confused = (
+            b'{"e":[{"v":"35.2","u":"far","n":"temperature"},'
+            b'{"v":"12","u":"per","n":"humidity"}],"bt":1422748800000}'
+        )
+        nonstructural = comp.And(
+            [comp.s("temperature", 1), comp.v("0.7", "35.1")]
+        )
+        # without structure: FP (the "12" is in range, string present)
+        assert comp.evaluate_record(nonstructural, confused)
+        # with structure: correctly dropped
+        assert not comp.evaluate_record(expr, confused)
+        circuit = build_raw_filter_circuit(expr)
+        assert not gate_accepts(circuit, confused)
+
+
+class TestComposedResources:
+    def test_tracker_built_only_when_needed(self):
+        plain = build_raw_filter_circuit(
+            comp.And([comp.s("temperature", 1), comp.v("0.7", "35.1")])
+        )
+        grouped = build_raw_filter_circuit(
+            comp.group(comp.s("temperature", 1), comp.v("0.7", "35.1"))
+        )
+        names_plain = {r.name for r in plain.registers}
+        names_grouped = {r.name for r in grouped.registers}
+        assert not any("struct" in n for n in names_plain)
+        assert any("struct" in n for n in names_grouped)
+
+    def test_estimate_is_close_to_exact(self):
+        exprs = expressions()
+        for name in ("pair", "group", "two_groups", "mixed"):
+            expr = exprs[name]
+            atoms = list(expr.atoms())
+            estimate = estimate_luts(atoms)
+            exact = exact_luts(expr)
+            # composition only adds sharing plus a small AND tree
+            assert exact <= estimate + 3, name
+            assert exact >= estimate * 0.6, name
+
+    def test_shared_tracker_saves_luts(self):
+        exprs = expressions()
+        two_groups = exact_luts(exprs["two_groups"])
+        separate = exact_luts(
+            comp.group(comp.s("temperature", 1), comp.v("0.7", "35.1"))
+        ) + exact_luts(
+            comp.group(comp.s("humidity", 2), comp.v("20.3", "69.1"))
+        )
+        assert two_groups < separate
+        assert separate - two_groups >= tracker_luts() - 4
+
+    def test_paper_scale_group_cost(self):
+        """{s1 & v} pairs land in the paper's order of magnitude (~100)."""
+        expr = comp.group(comp.s("humidity", 1), comp.v("20.3", "69.1"))
+        luts = exact_luts(expr)
+        assert 40 <= luts <= 250
+
+
+class TestRegexPredicateInHardware:
+    def test_stream_mode_regex_gate_equals_behavioural(self):
+        expr = comp.And(
+            [
+                comp.RegexPredicate(r'"bt":1[0-9]{12}'),
+                comp.s("temperature", 1),
+            ]
+        )
+        circuit = build_raw_filter_circuit(expr)
+        for record in RECORDS:
+            assert gate_accepts(circuit, record) == (
+                comp.evaluate_record(expr, record)
+            ), record
+
+    def test_number_mode_regex_gate_equals_behavioural(self):
+        expr = comp.RegexPredicate("3[05][0-9.]*", token_mode="number")
+        circuit = build_raw_filter_circuit(expr)
+        for record in RECORDS:
+            assert gate_accepts(circuit, record) == (
+                comp.evaluate_record(expr, record)
+            ), record

@@ -1,0 +1,165 @@
+"""Unit tests for raw-filter composition (notation, evaluation, algebra)."""
+
+import numpy as np
+import pytest
+
+import repro.core.composition as comp
+from repro.errors import QueryError
+
+SENML = (
+    b'{"e":[{"v":"35.2","u":"far","n":"temperature"},'
+    b'{"v":"12","u":"per","n":"humidity"},'
+    b'{"v":"713","u":"per","n":"light"}],"bt":1422748800000}'
+)
+
+
+class TestNotation:
+    def test_substring_notation(self):
+        assert comp.s("temperature", 1).notation() == 's1("temperature")'
+
+    def test_full_notation(self):
+        assert comp.full("user").notation() == 'sN("user")'
+
+    def test_dfa_notation(self):
+        assert comp.dfa("user").notation() == 'dfa("user")'
+
+    def test_number_notation_int(self):
+        assert comp.v_int(12, 49).notation() == "v(12 <= i <= 49)"
+
+    def test_number_notation_float(self):
+        assert comp.v("0.7", "35.1").notation() == "v(0.7 <= f <= 35.1)"
+
+    def test_number_notation_one_sided(self):
+        assert comp.v_int(35, None).notation() == "v(35 <= i)"
+        assert comp.v_int(None, 35).notation() == "v(i <= 35)"
+
+    def test_group_notation(self):
+        expr = comp.group(comp.s("humidity", 1), comp.v("20.3", "69.1"))
+        assert expr.notation() == (
+            '{ s1("humidity") & v(20.3 <= f <= 69.1) }'
+        )
+
+    def test_and_notation(self):
+        expr = comp.And([comp.s("a", 1), comp.s("b", 1)])
+        assert expr.notation() == 's1("a") & s1("b")'
+
+    def test_nested_combinator_parenthesised(self):
+        expr = comp.Or([comp.And([comp.s("a", 1), comp.s("b", 1)]),
+                        comp.s("c", 1)])
+        assert expr.notation() == '(s1("a") & s1("b")) | s1("c")'
+
+
+class TestValidation:
+    def test_block_out_of_range(self):
+        with pytest.raises(QueryError):
+            comp.StringPredicate("abc", 4)
+
+    def test_number_needs_bound(self):
+        with pytest.raises(QueryError):
+            comp.NumberPredicate(None, None)
+
+    def test_number_rejects_bad_kind(self):
+        with pytest.raises(QueryError):
+            comp.NumberPredicate(1, 2, kind="decimal")
+
+    def test_group_rejects_combinators(self):
+        with pytest.raises(QueryError):
+            comp.Group([comp.And([comp.s("a", 1)])])
+
+    def test_group_rejects_empty(self):
+        with pytest.raises(QueryError):
+            comp.Group([])
+
+    def test_and_rejects_empty(self):
+        with pytest.raises(QueryError):
+            comp.And([])
+
+
+class TestIdentity:
+    def test_cache_key_equality(self):
+        assert comp.s("dust", 1) == comp.s("dust", 1)
+        assert comp.s("dust", 1) != comp.s("dust", 2)
+        assert comp.v(1, 2) == comp.v(1, 2)
+        assert comp.v(1, 2) != comp.v_int(1, 2)
+
+    def test_hashable(self):
+        exprs = {comp.s("dust", 1), comp.s("dust", 1), comp.s("dust", 2)}
+        assert len(exprs) == 2
+
+    def test_group_key_includes_scoping(self):
+        a = comp.group(comp.s("a", 1), comp.v(1, 2))
+        b = comp.Group([comp.s("a", 1), comp.v(1, 2)], comma_scoped=True)
+        assert a != b
+
+    def test_atoms_and_primitives(self):
+        expr = comp.And(
+            [comp.group(comp.s("a", 1), comp.v(1, 2)), comp.v(3, 4)]
+        )
+        assert len(list(expr.atoms())) == 2
+        assert len(list(expr.primitives())) == 3
+
+
+class TestEvaluation:
+    def test_string_on_senml(self):
+        assert comp.evaluate_record(comp.s("temperature", 1), SENML)
+        assert not comp.evaluate_record(comp.s("dust", 2), SENML)
+
+    def test_number_on_senml(self):
+        # humidity "12" is an int in [12, 49]
+        assert comp.evaluate_record(comp.v_int(12, 49), SENML)
+        # but temperature 35.2 is not in [0.7, 35.1]
+        assert comp.evaluate_record(comp.v("0.7", "35.1"), SENML)  # "12"!
+
+    def test_running_example_false_positive(self):
+        """Listing 1/2: conjunction accepts, structure rejects."""
+        nonstructural = comp.And(
+            [comp.s("temperature", 1), comp.v("0.7", "35.1")]
+        )
+        structural = comp.group(
+            comp.s("temperature", 1), comp.v("0.7", "35.1")
+        )
+        assert comp.evaluate_record(nonstructural, SENML)
+        assert not comp.evaluate_record(structural, SENML)
+
+    def test_group_accepts_correct_context(self):
+        record = SENML.replace(b'"35.2"', b'"30.1"')
+        structural = comp.group(
+            comp.s("temperature", 1), comp.v("0.7", "35.1")
+        )
+        assert comp.evaluate_record(structural, record)
+
+    def test_and_or_semantics(self):
+        yes = comp.s("temperature", 1)
+        no = comp.s("dust", 2)
+        assert comp.evaluate_record(comp.Or([no, yes]), SENML)
+        assert not comp.evaluate_record(comp.And([no, yes]), SENML)
+
+    def test_regex_predicate_stream_mode(self):
+        expr = comp.RegexPredicate(r'"bt":[0-9]{13}')
+        assert comp.evaluate_record(expr, SENML)
+        assert not comp.evaluate_record(
+            comp.RegexPredicate(r'"bt":[0-9]{20}'), SENML
+        )
+
+    def test_regex_predicate_number_mode(self):
+        expr = comp.RegexPredicate("71[0-9]", token_mode="number")
+        assert comp.evaluate_record(expr, SENML)  # "713"
+        assert not comp.evaluate_record(
+            comp.RegexPredicate("99[0-9]", token_mode="number"), SENML
+        )
+
+    def test_regex_rejects_bad_mode(self):
+        with pytest.raises(QueryError):
+            comp.RegexPredicate("a", token_mode="word")
+
+
+class TestFireArrays:
+    def test_number_fire_array_positions(self):
+        arr = np.frombuffer(b'{"x":13}\n', dtype=np.uint8)
+        fires = comp.v_int(12, 49).fire_array(arr)
+        assert np.flatnonzero(fires).tolist() == [7]
+
+    def test_string_fire_array(self):
+        arr = np.frombuffer(b"dust\n", dtype=np.uint8)
+        fires = comp.s("dust", 2).fire_array(arr)
+        assert np.flatnonzero(fires).tolist() == [3]

@@ -1,0 +1,71 @@
+"""Tests for the LUT cost model (exact vs additive estimate)."""
+
+import pytest
+
+import repro.core.composition as comp
+from repro.core.cost import (
+    atom_luts,
+    clear_cost_cache,
+    estimate_luts,
+    exact_luts,
+    tracker_luts,
+)
+
+
+class TestAtomCosts:
+    def test_primitive_cost_positive(self):
+        assert atom_luts(comp.s("dust", 1)) > 0
+        assert atom_luts(comp.v_int(12, 49)) > 0
+
+    def test_cost_cached(self):
+        first = atom_luts(comp.s("dust", 2))
+        second = atom_luts(comp.s("dust", 2))
+        assert first == second
+
+    def test_group_includes_tracker(self):
+        group = comp.group(comp.s("dust", 1), comp.v_int(12, 49))
+        parts = atom_luts(comp.s("dust", 1)) + atom_luts(
+            comp.v_int(12, 49)
+        )
+        assert atom_luts(group) > parts  # tracker + latches on top
+
+    def test_tracker_cost_small(self):
+        assert 5 <= tracker_luts() <= 60
+
+    def test_k_parameter_changes_costs(self):
+        k6 = atom_luts(comp.v_int(140, 3155), k=6)
+        k4 = atom_luts(comp.v_int(140, 3155), k=4)
+        assert k4 >= k6
+
+
+class TestEstimate:
+    def test_single_atom_estimate_is_exact(self):
+        atom = comp.v_int(12, 49)
+        assert estimate_luts([atom]) == exact_luts(atom)
+
+    def test_multi_group_subtracts_duplicate_trackers(self):
+        groups = [
+            comp.group(comp.s("dust", 1), comp.v_int(12, 49)),
+            comp.group(comp.s("light", 1), comp.v_int(0, 5153)),
+        ]
+        naive_sum = sum(atom_luts(g) for g in groups)
+        estimate = estimate_luts(groups)
+        assert estimate == naive_sum - tracker_luts()
+
+    def test_estimate_close_to_exact_for_conjunctions(self):
+        atoms = [
+            comp.group(comp.s("temperature", 1), comp.v("0.7", "35.1")),
+            comp.group(comp.s("humidity", 1), comp.v("20.3", "69.1")),
+            comp.v_int(12, 49),
+        ]
+        expr = comp.And(atoms)
+        estimate = estimate_luts(atoms)
+        exact = exact_luts(expr)
+        # composition shares decode logic: exact <= estimate + AND tree
+        assert exact <= estimate + 3
+        assert exact >= 0.55 * estimate
+
+    def test_cache_clear(self):
+        atom_luts(comp.s("dust", 1))
+        clear_cost_cache()
+        assert atom_luts(comp.s("dust", 1)) > 0

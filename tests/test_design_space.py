@@ -1,0 +1,186 @@
+"""Unit + property tests for the query compiler and design-space explorer.
+
+Includes the library's most important property: **no raw-filter
+configuration ever produces a false negative** against the exact oracle.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.composition as comp
+from repro.core.compiler import (
+    condition_options,
+    config_expression,
+    paper_pareto_expression,
+    string_primitive,
+    value_primitive,
+)
+from repro.core.design_space import DesignSpace
+from repro.data import QS0, QS1, QT, load_dataset
+from repro.errors import QueryError
+from repro.eval.harness import DatasetView, evaluate_expression
+
+
+@pytest.fixture(scope="module")
+def qs0_space():
+    dataset = load_dataset("smartcity", 300)
+    return DesignSpace(QS0, dataset)
+
+
+class TestCompiler:
+    def test_primitive_builders(self):
+        condition = QS0.conditions[0]
+        assert string_primitive(condition, 1).notation() == (
+            's1("temperature")'
+        )
+        assert value_primitive(condition).notation() == (
+            "v(0.7 <= f <= 35.1)"
+        )
+
+    def test_int_condition_builds_int_filter(self):
+        light = next(
+            c for c in QS0.conditions if c.attribute == "light"
+        )
+        assert value_primitive(light).notation() == "v(0 <= i <= 5153)"
+
+    def test_default_option_count(self):
+        options = condition_options(QS0.conditions[0])
+        # omit + value + 3 blocks x (pair + group)
+        assert len(options) == 8
+
+    def test_option_count_with_string_only(self):
+        options = condition_options(
+            QS0.conditions[0], include_string_only=True
+        )
+        assert len(options) == 11
+
+    def test_config_expression_single_atom_unwrapped(self):
+        options = condition_options(QS0.conditions[0])
+        value_option = next(o for o in options if o.label == "value")
+        expr = config_expression([value_option])
+        assert isinstance(expr, comp.NumberPredicate)
+
+    def test_all_omit_rejected(self):
+        options = condition_options(QS0.conditions[0])
+        omit = next(o for o in options if o.is_omit)
+        with pytest.raises(QueryError):
+            config_expression([omit, omit])
+
+    def test_paper_pareto_expression(self):
+        expr = paper_pareto_expression(
+            QS0,
+            [
+                ("group", "humidity", 1),
+                ("value", "airquality_raw"),
+            ],
+        )
+        assert expr.notation() == (
+            '{ s1("humidity") & v(20.3 <= f <= 69.1) } & v(12 <= i <= 49)'
+        )
+
+    def test_paper_pareto_expression_pair_and_string(self):
+        expr = paper_pareto_expression(
+            QT, [("pair", "tolls_amount", 2), ("string", "tip_amount", 1)]
+        )
+        assert "s2(" in expr.notation() and "s1(" in expr.notation()
+
+
+class TestDesignSpace:
+    def test_configuration_count(self, qs0_space):
+        assert qs0_space.num_configurations() == 8**5 - 1
+
+    def test_evaluate_choice_matches_direct_evaluation(self, qs0_space):
+        choice = next(iter(qs0_space.iter_choices()))
+        fpr, luts, attributes = qs0_space.evaluate_choice(choice)
+        expr = qs0_space.choice_expression(choice)
+        view = DatasetView(qs0_space.dataset)
+        accepted = evaluate_expression(view, expr)
+        negatives = ~qs0_space.truth
+        direct_fpr = (
+            np.count_nonzero(accepted & negatives) / negatives.sum()
+        )
+        assert fpr == pytest.approx(direct_fpr)
+        assert luts > 0
+
+    def test_attribute_count(self, qs0_space):
+        for choice in list(qs0_space.iter_choices())[:50]:
+            _, _, attributes = qs0_space.evaluate_choice(choice)
+            expected = sum(
+                0 if qs0_space.options[i][g].is_omit else 1
+                for i, g in enumerate(choice)
+            )
+            assert attributes == expected
+
+    def test_explore_limit(self, qs0_space):
+        points = qs0_space.explore(limit=100)
+        assert len(points) == 100
+
+    def test_pareto_front_is_nondominated(self, qs0_space):
+        points = qs0_space.explore(limit=2000)
+        front = qs0_space.pareto(points, exact_luts=False)
+        for i, a in enumerate(front):
+            for j, b in enumerate(front):
+                if i != j:
+                    assert not a.dominates(b, epsilon=1e-12) or (
+                        a.fpr == b.fpr and a.luts == b.luts
+                    )
+
+    def test_full_filter_reaches_low_fpr(self):
+        dataset = load_dataset("smartcity", 600)
+        space = DesignSpace(QS0, dataset)
+        # all five attributes as structural groups with B=1
+        choice = []
+        for options in space.options:
+            index = next(
+                i for i, o in enumerate(options)
+                if o.label == "group[B=1]"
+            )
+            choice.append(index)
+        fpr, luts, attributes = space.evaluate_choice(tuple(choice))
+        assert attributes == 5
+        assert fpr < 0.15
+        assert luts > 100
+
+
+class TestNoFalseNegatives:
+    """Soundness: every configuration accepts every oracle-true record."""
+
+    @pytest.mark.parametrize(
+        "query,dataset_name",
+        [(QS0, "smartcity"), (QS1, "smartcity"), (QT, "taxi")],
+    )
+    def test_sampled_configs_are_sound(self, query, dataset_name):
+        dataset = load_dataset(dataset_name, 400)
+        space = DesignSpace(query, dataset,
+                            include_string_only=True)
+        truth = query.truth_array(dataset)
+        view = DatasetView(dataset)
+        rng = np.random.default_rng(5)
+        choices = list(space.iter_choices())
+        picks = rng.choice(len(choices), size=60, replace=False)
+        for pick in picks:
+            expr = space.choice_expression(choices[int(pick)])
+            accepted = evaluate_expression(view, expr)
+            false_negatives = truth & ~accepted
+            assert not false_negatives.any(), expr.notation()
+
+    def test_paper_qs0_zero_fpr_config_is_sound_and_selective(self):
+        dataset = load_dataset("smartcity", 1500)
+        expr = paper_pareto_expression(
+            QS0,
+            [
+                ("group", "temperature", 1),
+                ("group", "humidity", 1),
+                ("group", "light", 1),
+                ("group", "dust", 1),
+                ("group", "airquality_raw", 1),
+            ],
+        )
+        view = DatasetView(dataset)
+        accepted = evaluate_expression(view, expr)
+        truth = QS0.truth_array(dataset)
+        assert not (truth & ~accepted).any()
+        # and it is actually a good filter
+        from repro.eval.metrics import FilterMetrics
+
+        assert FilterMetrics(accepted, truth).fpr < 0.15

@@ -1,0 +1,68 @@
+"""Tests for the evolutionary design-space explorer (future-work item)."""
+
+import pytest
+
+from repro.core.design_space import DesignSpace
+from repro.core.evolutionary import evolve
+from repro.data import QS1, load_dataset
+from repro.errors import DesignSpaceError
+from repro.eval.pareto import DesignPoint, pareto_front
+
+
+@pytest.fixture(scope="module")
+def qs1_space():
+    dataset = load_dataset("smartcity", 300)
+    space = DesignSpace(QS1, dataset)
+    space._prepare()
+    return space
+
+
+class TestEvolve:
+    def test_produces_valid_front(self, qs1_space):
+        result = evolve(qs1_space, population_size=16, generations=8,
+                        seed=1)
+        assert result.front
+        for point in result.front:
+            assert 0.0 <= point.fpr <= 1.0
+            assert point.luts > 0
+
+    def test_uses_fewer_evaluations_than_brute_force(self, qs1_space):
+        result = evolve(qs1_space, population_size=16, generations=10,
+                        seed=2)
+        assert result.evaluations < qs1_space.num_configurations() / 10
+
+    def test_front_is_nondominated(self, qs1_space):
+        result = evolve(qs1_space, population_size=16, generations=8,
+                        seed=3)
+        for a in result.front:
+            for b in result.front:
+                if a is not b:
+                    strictly = (
+                        (b.fpr <= a.fpr and b.luts < a.luts)
+                        or (b.fpr < a.fpr and b.luts <= a.luts)
+                    )
+                    assert not strictly
+
+    def test_deterministic_for_seed(self, qs1_space):
+        first = evolve(qs1_space, population_size=12, generations=5,
+                       seed=7)
+        second = evolve(qs1_space, population_size=12, generations=5,
+                        seed=7)
+        assert [(p.fpr, p.luts) for p in first.front] == [
+            (p.fpr, p.luts) for p in second.front
+        ]
+
+    def test_best_fpr_improves_over_generations(self, qs1_space):
+        result = evolve(qs1_space, population_size=24, generations=15,
+                        seed=4)
+        assert result.history[-1] <= result.history[0]
+
+    def test_finds_near_bruteforce_knee(self, qs1_space):
+        """GA should find a configuration with FPR < 0.15 (the knee)."""
+        result = evolve(qs1_space, population_size=32, generations=20,
+                        seed=5)
+        assert min(p.fpr for p in result.front) < 0.15
+
+    def test_rejects_tiny_population(self, qs1_space):
+        with pytest.raises(DesignSpaceError):
+            evolve(qs1_space, population_size=2, generations=2)

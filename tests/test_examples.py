@@ -1,0 +1,50 @@
+"""Smoke tests: the runnable examples execute end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    path = EXAMPLES / name
+    assert path.exists(), path
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "gate-level simulation agrees" in out
+
+
+def test_date_filter_runs(capsys):
+    run_example("date_filter.py")
+    out = capsys.readouterr().out
+    assert "false negatives:   0" in out
+
+
+@pytest.mark.slow
+def test_iot_gateway_runs(capsys):
+    run_example("iot_gateway.py")
+    out = capsys.readouterr().out
+    assert "missing matches:        0" in out
+
+
+def test_all_examples_exist():
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "iot_gateway.py",
+        "design_space_explorer.py",
+        "sparser_comparison.py",
+        "date_filter.py",
+    } <= names

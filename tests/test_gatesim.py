@@ -1,0 +1,78 @@
+"""Additional tests for the cycle simulator itself."""
+
+import pytest
+
+from repro.hw.aig import TRUE
+from repro.hw.gatesim import CycleSimulator
+from repro.hw.rtl import Circuit
+
+
+def shift_circuit():
+    circuit = Circuit("shift")
+    data_in = circuit.add_input("d")
+    first = circuit.add_register("s0")
+    second = circuit.add_register("s1")
+    circuit.set_next(first, data_in)
+    circuit.set_next(second, first)
+    circuit.add_output("q", second)
+    return circuit
+
+
+class TestCycleSimulator:
+    def test_two_cycle_latency(self):
+        sim = CycleSimulator(shift_circuit())
+        outputs = []
+        for bit in (1, 0, 1, 1, 0, 0):
+            outputs.append(sim.step({"d": bit})["q"])
+        assert outputs == [False, False, True, False, True, True]
+
+    def test_reset_restores_init(self):
+        circuit = Circuit("c")
+        reg = circuit.add_register("r", init=True)
+        circuit.set_next(reg, circuit.aig.lnot(reg))
+        circuit.add_output("q", reg)
+        sim = CycleSimulator(circuit)
+        assert sim.step({})["q"] is True
+        assert sim.step({})["q"] is False
+        sim.reset()
+        assert sim.step({})["q"] is True
+
+    def test_peek_register(self):
+        sim = CycleSimulator(shift_circuit())
+        sim.step({"d": 1})
+        assert sim.peek("s0") is True
+        assert sim.peek("s1") is False
+        with pytest.raises(KeyError):
+            sim.peek("nope")
+
+    def test_vector_input_port(self):
+        circuit = Circuit("v")
+        vec = circuit.add_input_vector("x", 4)
+        circuit.add_output("eq", vec.eq_const(9))
+        sim = CycleSimulator(circuit)
+        assert sim.step({"x": 9})["eq"]
+        assert not sim.step({"x": 8})["eq"]
+
+    def test_missing_inputs_default_to_zero(self):
+        circuit = Circuit("m")
+        a = circuit.add_input("a")
+        circuit.add_output("q", a)
+        sim = CycleSimulator(circuit)
+        assert sim.step({})["q"] is False
+
+    def test_run_stream_watch_subset(self):
+        circuit = Circuit("w")
+        byte = circuit.add_input_vector("byte", 8)
+        circuit.add_output("is_a", byte.eq_const(ord("a")))
+        circuit.add_output("always", TRUE)
+        sim = CycleSimulator(circuit)
+        trace = sim.run_stream(b"ab", watch=["is_a"])
+        assert list(trace) == ["is_a"]
+        assert trace["is_a"] == [True, False]
+
+    def test_run_stream_accepts_str(self):
+        circuit = Circuit("s")
+        byte = circuit.add_input_vector("byte", 8)
+        circuit.add_output("is_x", byte.eq_const(ord("x")))
+        sim = CycleSimulator(circuit)
+        assert sim.run_stream("axe")["is_x"] == [False, True, False]

@@ -1,0 +1,69 @@
+"""Cross-validation of the strict JSON parser against the stdlib.
+
+The stdlib ``json`` module is used ONLY as a test oracle here — the
+library itself never imports it.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import load_dataset
+from repro.jsonpath import loads
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**12), max_value=10**12),
+    st.floats(
+        allow_nan=False, allow_infinity=False, min_value=-1e9,
+        max_value=1e9,
+    ),
+    st.text(max_size=12),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(value=json_values)
+def test_parser_agrees_with_stdlib(value):
+    text = json.dumps(value)
+    assert loads(text) == json.loads(text)
+
+
+@settings(max_examples=80, deadline=None)
+@given(value=json_values)
+def test_parser_agrees_on_compact_encoding(value):
+    text = json.dumps(value, separators=(",", ":"))
+    assert loads(text) == json.loads(text)
+
+
+@pytest.mark.parametrize("name", ["smartcity", "taxi", "twitter"])
+def test_datasets_agree_with_stdlib(name):
+    dataset = load_dataset(name, 150)
+    for record in dataset:
+        assert loads(record) == json.loads(record.decode("utf-8"))
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        '{"a": 1e3}',
+        '{"a": -0.5E-2}',
+        '[true, false, null]',
+        '{"nested": {"deep": [[[1]]]}}',
+        '"\\u00e9\\u4e2d"',
+    ],
+)
+def test_tricky_documents(text):
+    assert loads(text) == json.loads(text)

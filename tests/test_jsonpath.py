@@ -1,0 +1,208 @@
+"""Unit tests for the JSON parser, JSONPath subset and SenML helpers."""
+
+import pytest
+
+from repro.errors import JSONParseError, JSONPathError
+from repro.jsonpath import (
+    base_time,
+    coerce_number,
+    compile_path,
+    iter_records,
+    loads,
+    measurement_value,
+    measurements,
+    sensor_names,
+)
+
+
+class TestParserValues:
+    def test_scalars(self):
+        assert loads("true") is True
+        assert loads("false") is False
+        assert loads("null") is None
+        assert loads("42") == 42
+        assert loads("-3.5") == -3.5
+        assert loads('"hi"') == "hi"
+
+    def test_exponents(self):
+        assert loads("2.5e3") == 2500.0
+        assert loads("1E-2") == 0.01
+        assert loads("100e-1") == 10.0
+
+    def test_nested_structure(self):
+        value = loads('{"a":[1,{"b":[2,3]}],"c":{}}')
+        assert value == {"a": [1, {"b": [2, 3]}], "c": {}}
+
+    def test_empty_containers(self):
+        assert loads("[]") == []
+        assert loads("{}") == {}
+
+    def test_string_escapes(self):
+        assert loads(r'"a\"b\\c\nd"') == 'a"b\\c\nd'
+        assert loads(r'"A"') == "A"
+
+    def test_unicode_passthrough(self):
+        assert loads('"münchen"'.encode("utf-8")) == "münchen"
+
+    def test_whitespace_tolerated(self):
+        assert loads(' { "a" : [ 1 , 2 ] } ') == {"a": [1, 2]}
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "{",
+            "[1,",
+            '{"a"}',
+            '{"a":}',
+            '{a:1}',
+            '"unterminated',
+            "01",
+            "1.",
+            "1e",
+            "tru",
+            '[1] trailing',
+            '{"a":1,}',
+            '"bad\\escape"'.replace("escape", "q"),
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(JSONParseError):
+            loads(text)
+
+    def test_error_position(self):
+        try:
+            loads('{"a": nope}')
+        except JSONParseError as err:
+            assert err.position == 6
+        else:  # pragma: no cover
+            pytest.fail("expected parse error")
+
+    def test_control_characters_rejected(self):
+        with pytest.raises(JSONParseError):
+            loads(b'"a\x01b"')
+
+
+class TestIterRecords:
+    def test_ndjson(self):
+        stream = b'{"a":1}\n{"a":2}\n\n{"a":3}\n'
+        values = [value for _, value in iter_records(stream)]
+        assert [v["a"] for v in values] == [1, 2, 3]
+
+    def test_raw_bytes_returned(self):
+        stream = b'{"a":1}\n'
+        raw, _ = next(iter_records(stream))
+        assert raw == b'{"a":1}'
+
+
+class TestJSONPath:
+    DOC = loads(
+        '{"e":[{"v":"35.2","u":"far","n":"temperature"},'
+        '{"v":"12","u":"per","n":"humidity"}],"bt":1422748800000}'
+    )
+
+    def test_field_access(self):
+        assert compile_path("$.bt").select(self.DOC) == [1422748800000]
+
+    def test_missing_field(self):
+        assert compile_path("$.zz").select(self.DOC) == []
+
+    def test_wildcard(self):
+        assert len(compile_path("$.e[*]").select(self.DOC)) == 2
+
+    def test_index(self):
+        node = compile_path("$.e[1]").select(self.DOC)[0]
+        assert node["n"] == "humidity"
+
+    def test_negative_index(self):
+        node = compile_path("$.e[-1]").select(self.DOC)[0]
+        assert node["n"] == "humidity"
+
+    def test_paper_listing2_query(self):
+        """Listing 2: temperature in [0.7, 35.1] — 35.2 fails."""
+        path = compile_path(
+            '$.e[?(@.n=="temperature" & @.v >= 0.7 & @.v <= 35.1)]'
+        )
+        assert not path.matches(self.DOC)
+        in_range = loads(
+            '{"e":[{"v":"30.0","u":"far","n":"temperature"}]}'
+        )
+        assert path.matches(in_range)
+
+    def test_filter_with_or(self):
+        path = compile_path('$.e[?(@.n=="light" | @.n=="humidity")]')
+        assert len(path.select(self.DOC)) == 1
+
+    def test_string_coercion_in_comparison(self):
+        """SenML "v" values are strings; numeric literals coerce them."""
+        path = compile_path("$.e[?(@.v >= 12 & @.v <= 12)]")
+        assert path.matches(self.DOC)
+
+    def test_unicode_comparison_glyphs(self):
+        path = compile_path('$.e[?(@.v ≥ 35 & @.v ≤ 36)]')
+        assert path.matches(self.DOC)
+
+    def test_nonnumeric_value_fails_numeric_compare(self):
+        doc = loads('{"e":[{"v":"abc","n":"temperature"}]}')
+        path = compile_path("$.e[?(@.v >= 0)]")
+        assert not path.matches(doc)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["$.", "e.a", "$.e[?(@.n=)]", "$.e[abc]", "$[?(n==1)]", "$.e[?(@.v >< 1)]"],
+    )
+    def test_path_errors(self, text):
+        with pytest.raises(JSONPathError):
+            compile_path(text)
+
+
+class TestCoerce:
+    def test_int_string(self):
+        assert coerce_number("42") == 42
+
+    def test_float_string(self):
+        assert coerce_number("3.5") == 3.5
+
+    def test_exponent_string(self):
+        assert coerce_number("2e3") == 2000.0
+
+    def test_non_numeric(self):
+        assert coerce_number("abc") is None
+
+    def test_bool_is_not_number(self):
+        assert coerce_number(True) is None
+
+    def test_passthrough(self):
+        assert coerce_number(7) == 7
+
+
+class TestSenML:
+    RECORD = loads(
+        '{"e":[{"v":"35.2","u":"far","n":"temperature"},'
+        '{"v":"713","u":"per","n":"light"}],"bt":1422748800000}'
+    )
+
+    def test_measurements(self):
+        values = list(measurements(self.RECORD))
+        assert ("temperature", 35.2, "far") in values
+        assert ("light", 713, "per") in values
+
+    def test_measurement_value(self):
+        assert measurement_value(self.RECORD, "light") == 713
+        assert measurement_value(self.RECORD, "dust") is None
+
+    def test_base_time(self):
+        assert base_time(self.RECORD) == 1422748800000
+
+    def test_sensor_names(self):
+        assert sensor_names(self.RECORD) == {"temperature", "light"}
+
+    def test_robust_to_malformed_entries(self):
+        record = loads('{"e":[{"x":1},"junk",{"n":"t","v":"1"}]}')
+        assert sensor_names(record) == {"t"}
+
+    def test_non_senml_record(self):
+        assert list(measurements(loads('{"a":1}'))) == []
+        assert base_time(loads("[1]")) is None

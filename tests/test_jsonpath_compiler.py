@@ -1,0 +1,127 @@
+"""Tests for JSONPath-to-raw-filter compilation (design-flow step i)."""
+
+import numpy as np
+import pytest
+
+import repro.core.composition as comp
+from repro.core.jsonpath_compiler import compile_jsonpath
+from repro.data import load_dataset
+from repro.errors import QueryError
+from repro.eval.harness import DatasetView, evaluate_expression
+from repro.jsonpath import compile_path, loads
+
+LISTING2 = '$.e[?(@.n=="temperature" & @.v >= 0.7 & @.v <= 35.1)]'
+
+
+class TestCompilation:
+    def test_listing2_compiles_to_paper_filter(self):
+        expr = compile_jsonpath(LISTING2)
+        assert expr.notation() == (
+            '{ s1("temperature") & v(0.7 <= f <= 35.1) }'
+        )
+
+    def test_nonstructural_variant(self):
+        expr = compile_jsonpath(LISTING2, structural=False)
+        assert expr.notation() == (
+            's1("temperature") & v(0.7 <= f <= 35.1)'
+        )
+
+    def test_block_parameter(self):
+        expr = compile_jsonpath(LISTING2, block=2)
+        assert 's2("temperature")' in expr.notation()
+
+    def test_existence_query(self):
+        expr = compile_jsonpath("$.user.location")
+        assert expr == comp.s("location", 1)
+
+    def test_numeric_equality_becomes_point_range(self):
+        expr = compile_jsonpath("$.e[?(@.v == 42)]")
+        assert expr.notation() == "v(42 <= i <= 42)"
+
+    def test_one_sided_bound(self):
+        expr = compile_jsonpath("$.e[?(@.v >= 35)]")
+        assert expr.notation() == "v(35 <= i)"
+
+    def test_float_literal_gives_float_kind(self):
+        expr = compile_jsonpath("$.e[?(@.v >= 0.5)]")
+        assert "f" in expr.notation()
+
+    def test_or_predicate(self):
+        expr = compile_jsonpath(
+            '$.e[?(@.n=="light" | @.n=="humidity")]'
+        )
+        assert isinstance(expr, comp.Or)
+        assert len(expr.children) == 2
+
+    def test_not_equal_is_dropped(self):
+        expr = compile_jsonpath(
+            '$.e[?(@.n=="light" & @.u != "per")]'
+        )
+        # the != clause cannot be raw-filtered; only the needle remains
+        assert expr == comp.s("light", 1)
+
+    def test_multiple_fields_fold_separately(self):
+        expr = compile_jsonpath(
+            "$.e[?(@.v >= 1 & @.v <= 9 & @.w >= 100 & @.w <= 200)]"
+        )
+        notations = expr.notation()
+        assert "v(1 <= i <= 9)" in notations
+        assert "v(100 <= i <= 200)" in notations
+
+    def test_contradictory_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            compile_jsonpath("$.e[?(@.v >= 9 & @.v <= 1)]")
+
+    def test_unfilterable_query_rejected(self):
+        with pytest.raises(QueryError):
+            compile_jsonpath('$.e[?(@.v != 3)]')
+
+    def test_accepts_precompiled_path(self):
+        path = compile_path(LISTING2)
+        assert compile_jsonpath(path).notation().startswith("{")
+
+
+class TestSoundness:
+    """The compiled raw filter over-approximates the JSONPath oracle."""
+
+    @pytest.mark.parametrize(
+        "path_text",
+        [
+            LISTING2,
+            '$.e[?(@.n=="humidity" & @.v >= 20.3 & @.v <= 69.1)]',
+            '$.e[?(@.n=="light" | @.n=="dust")]',
+            "$.e[?(@.v >= 1000 & @.v <= 30000)]",
+        ],
+    )
+    def test_no_false_negatives_on_smartcity(self, path_text):
+        dataset = load_dataset("smartcity", 500)
+        path = compile_path(path_text)
+        expr = compile_jsonpath(path_text)
+        truth = np.fromiter(
+            (path.matches(parsed) for parsed in dataset.parsed),
+            dtype=bool,
+            count=len(dataset),
+        )
+        accepted = evaluate_expression(DatasetView(dataset), expr)
+        assert not (truth & ~accepted).any()
+
+    def test_filter_is_actually_selective(self):
+        dataset = load_dataset("smartcity", 500)
+        expr = compile_jsonpath(
+            '$.e[?(@.n=="light" & @.v >= 100000)]'
+        )
+        accepted = evaluate_expression(DatasetView(dataset), expr)
+        # no light value is that large; only strays can pass
+        assert accepted.mean() < 0.5
+
+    def test_record_level_agreement_example(self):
+        expr = compile_jsonpath(LISTING2)
+        path = compile_path(LISTING2)
+        record = (
+            b'{"e":[{"v":"30.0","u":"far","n":"temperature"}],"bt":1}'
+        )
+        assert path.matches(loads(record))
+        assert comp.evaluate_record(expr, record)
+        out_of_range = record.replace(b"30.0", b"99.0")
+        assert not path.matches(loads(out_of_range))
+        assert not comp.evaluate_record(expr, out_of_range)

@@ -1,0 +1,184 @@
+"""Unit tests for the cut-based LUT technology mapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, seed, settings
+from hypothesis import strategies as st
+
+from repro.hw.aig import AIG, FALSE, TRUE, node_of
+from repro.hw.lutmap import lut_count, map_to_luts, verify_mapping
+
+
+def random_aig(rng, num_inputs=8, num_gates=40):
+    """Build a random AIG; returns (aig, output_literals)."""
+    aig = AIG()
+    literals = [aig.add_input() for _ in range(num_inputs)]
+    for _ in range(num_gates):
+        a = literals[rng.integers(0, len(literals))]
+        b = literals[rng.integers(0, len(literals))]
+        if rng.integers(0, 2):
+            a ^= 1
+        if rng.integers(0, 2):
+            b ^= 1
+        literals.append(aig.land(a, b))
+    outputs = [literals[-1], literals[len(literals) // 2]]
+    return aig, outputs
+
+
+class TestBasicMapping:
+    def test_single_and_is_one_lut(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        out = aig.land(a, b)
+        assert lut_count(aig, [out]) == 1
+
+    def test_six_input_and_is_one_lut(self):
+        aig = AIG()
+        inputs = [aig.add_input() for _ in range(6)]
+        out = aig.and_reduce(inputs)
+        assert lut_count(aig, [out], k=6) == 1
+
+    def test_seven_input_and_needs_two_luts(self):
+        aig = AIG()
+        inputs = [aig.add_input() for _ in range(7)]
+        out = aig.and_reduce(inputs)
+        assert lut_count(aig, [out], k=6) == 2
+
+    def test_constant_output_is_free(self):
+        aig = AIG()
+        assert lut_count(aig, [TRUE]) == 0
+        assert lut_count(aig, [FALSE]) == 0
+
+    def test_passthrough_input_is_free(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert lut_count(aig, [a]) == 0
+        assert lut_count(aig, [aig.lnot(a)]) == 0
+
+    def test_cut_width_respected(self):
+        aig = AIG()
+        inputs = [aig.add_input() for _ in range(12)]
+        out = aig.and_reduce(inputs)
+        network = map_to_luts(aig, [out], k=4)
+        assert all(len(lut.leaves) <= 4 for lut in network.luts)
+
+    def test_k4_needs_more_luts_than_k6(self):
+        aig = AIG()
+        inputs = [aig.add_input() for _ in range(16)]
+        out = aig.and_reduce(inputs)
+        assert lut_count(aig, [out], k=4) >= lut_count(aig, [out], k=6)
+
+    def test_shared_logic_counted_once(self):
+        aig = AIG()
+        inputs = [aig.add_input() for _ in range(6)]
+        shared = aig.and_reduce(inputs)
+        a = aig.land(shared, aig.add_input())
+        b = aig.land(shared, aig.add_input())
+        count = lut_count(aig, [a, b], k=6)
+        # shared 6-input AND (1 LUT) + two 2-input combiners
+        assert count <= 3
+
+    def test_rejects_tiny_k(self):
+        from repro.errors import SynthesisError
+
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        with pytest.raises(SynthesisError):
+            map_to_luts(aig, [aig.land(a, b)], k=1)
+
+
+class TestNetworkEvaluation:
+    def test_evaluate_matches_aig(self):
+        aig = AIG()
+        a, b, c = (aig.add_input() for _ in range(3))
+        out = aig.lor(aig.land(a, b), aig.lnot(c))
+        network = map_to_luts(aig, [out])
+        for va in (False, True):
+            for vb in (False, True):
+                for vc in (False, True):
+                    assignment = {
+                        node_of(a): va, node_of(b): vb, node_of(c): vc
+                    }
+                    assert network.evaluate(assignment) == (
+                        aig.eval_literals([out], assignment)
+                    )
+
+    def test_complemented_outputs(self):
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        out = aig.land(a, b)
+        network = map_to_luts(aig, [out, aig.lnot(out)])
+        values = network.evaluate({node_of(a): True, node_of(b): True})
+        assert values == [True, False]
+
+    def test_depth_positive(self):
+        aig = AIG()
+        inputs = [aig.add_input() for _ in range(12)]
+        out = aig.and_reduce(inputs)
+        network = map_to_luts(aig, [out])
+        assert network.depth >= 2
+
+    def test_luts_topologically_ordered(self):
+        aig, outputs = random_aig(np.random.default_rng(3))
+        network = map_to_luts(aig, outputs)
+        seen = set()
+        for lut in network.luts:
+            for leaf in lut.leaves:
+                assert aig.is_input(leaf) or leaf in seen or leaf == 0
+            seen.add(lut.node)
+
+
+class TestRandomEquivalence:
+    @pytest.mark.parametrize("seed_value", range(8))
+    def test_verify_mapping_on_random_aigs(self, seed_value):
+        rng = np.random.default_rng(seed_value)
+        aig, outputs = random_aig(rng, num_inputs=6 + seed_value % 4,
+                                  num_gates=30 + seed_value * 7)
+        network = map_to_luts(aig, outputs)
+        assert verify_mapping(aig, network, trials=128, seed=seed_value)
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 8])
+    def test_equivalence_across_k(self, k):
+        rng = np.random.default_rng(99)
+        aig, outputs = random_aig(rng, num_inputs=7, num_gates=50)
+        network = map_to_luts(aig, outputs, k=k)
+        assert verify_mapping(aig, network, trials=64, seed=k)
+        assert all(len(lut.leaves) <= k for lut in network.luts)
+
+
+@settings(max_examples=20, deadline=None)
+@seed(7)
+@given(data=st.data())
+def test_mapping_equivalence_property(data):
+    seed_value = data.draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed_value)
+    aig, outputs = random_aig(
+        rng,
+        num_inputs=data.draw(st.integers(3, 10)),
+        num_gates=data.draw(st.integers(5, 80)),
+    )
+    network = map_to_luts(aig, outputs)
+    assert verify_mapping(aig, network, trials=32, seed=seed_value)
+
+
+class TestDepthMode:
+    def test_depth_mode_not_deeper_than_area_mode(self):
+        rng = np.random.default_rng(42)
+        aig, outputs = random_aig(rng, num_inputs=8, num_gates=120)
+        area = map_to_luts(aig, outputs, mode="area")
+        depth = map_to_luts(aig, outputs, mode="depth")
+        assert depth.depth <= area.depth
+
+    def test_depth_mode_equivalent(self):
+        rng = np.random.default_rng(43)
+        aig, outputs = random_aig(rng, num_inputs=7, num_gates=80)
+        network = map_to_luts(aig, outputs, mode="depth")
+        assert verify_mapping(aig, network, trials=64, seed=3)
+
+    def test_unknown_mode_rejected(self):
+        from repro.errors import SynthesisError
+
+        aig = AIG()
+        a, b = aig.add_input(), aig.add_input()
+        with pytest.raises(SynthesisError):
+            map_to_luts(aig, [aig.land(a, b)], mode="power")

@@ -1,0 +1,129 @@
+"""Unit tests for metrics and Pareto utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    FilterMetrics,
+    false_positive_rate,
+    parse_offload,
+    selectivity,
+)
+from repro.eval.pareto import DesignPoint, is_pareto_optimal, pareto_front
+
+
+class TestMetrics:
+    def test_confusion_matrix(self):
+        accepted = np.array([True, True, False, False])
+        truth = np.array([True, False, True, False])
+        m = FilterMetrics(accepted, truth)
+        assert (m.tp, m.fp, m.fn, m.tn) == (1, 1, 1, 1)
+
+    def test_fpr_definition(self):
+        accepted = np.array([True, True, True, False])
+        truth = np.array([True, False, False, False])
+        assert FilterMetrics(accepted, truth).fpr == pytest.approx(2 / 3)
+
+    def test_fpr_no_negatives(self):
+        accepted = np.array([True])
+        truth = np.array([True])
+        assert FilterMetrics(accepted, truth).fpr == 0.0
+
+    def test_perfect_filter(self):
+        truth = np.array([True, False, True, False])
+        m = FilterMetrics(truth, truth)
+        assert m.fpr == 0.0
+        assert not m.has_false_negatives
+
+    def test_pass_everything_filter(self):
+        truth = np.array([True, False, False, False])
+        accepted = np.ones(4, dtype=bool)
+        m = FilterMetrics(accepted, truth)
+        assert m.fpr == 1.0
+        assert m.filtered_fraction == 0.0
+
+    def test_filtered_fraction_headline(self):
+        """94.3% filtered = only 5.7% of records reach the parser."""
+        truth = np.zeros(1000, dtype=bool)
+        truth[:57] = True
+        m = FilterMetrics(truth, truth)
+        assert m.filtered_fraction == pytest.approx(0.943)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            FilterMetrics(np.array([True]), np.array([True, False]))
+
+    def test_false_negative_detection(self):
+        accepted = np.array([False, True])
+        truth = np.array([True, True])
+        assert FilterMetrics(accepted, truth).has_false_negatives
+
+    def test_selectivity(self):
+        assert selectivity(np.array([True, False, True, False])) == 0.5
+        assert selectivity(np.array([], dtype=bool)) == 0.0
+
+    def test_parse_offload(self):
+        truth = np.zeros(100, dtype=bool)
+        truth[:10] = True
+        m = FilterMetrics(truth, truth)
+        assert parse_offload(m) == pytest.approx(0.9)
+
+    def test_shorthand(self):
+        accepted = np.array([True, False])
+        truth = np.array([False, False])
+        assert false_positive_rate(accepted, truth) == 0.5
+
+    def test_as_dict(self):
+        m = FilterMetrics(np.array([True]), np.array([False]))
+        d = m.as_dict()
+        assert d["fp"] == 1 and "fpr" in d
+
+
+class TestPareto:
+    def points(self):
+        return [
+            DesignPoint(None, 0.9, 10),
+            DesignPoint(None, 0.5, 50),
+            DesignPoint(None, 0.5, 60),   # dominated (same fpr, more luts)
+            DesignPoint(None, 0.6, 40),
+            DesignPoint(None, 0.0, 200),
+            DesignPoint(None, 0.1, 300),  # dominated by (0.0, 200)
+        ]
+
+    def test_front_contents(self):
+        front = pareto_front(self.points())
+        pairs = {(p.fpr, p.luts) for p in front}
+        assert pairs == {(0.9, 10), (0.6, 40), (0.5, 50), (0.0, 200)}
+
+    def test_front_sorted_descending_fpr(self):
+        front = pareto_front(self.points())
+        fprs = [p.fpr for p in front]
+        assert fprs == sorted(fprs, reverse=True)
+
+    def test_dominates(self):
+        a = DesignPoint(None, 0.1, 10)
+        b = DesignPoint(None, 0.2, 20)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_is_pareto_optimal(self):
+        points = self.points()
+        assert is_pareto_optimal(points[0], points)
+        assert not is_pareto_optimal(points[2], points)
+
+    def test_epsilon_merges_near_ties(self):
+        points = [
+            DesignPoint(None, 0.500, 50),
+            DesignPoint(None, 0.4999, 80),
+            DesignPoint(None, 0.1, 100),
+        ]
+        front = pareto_front(points, epsilon=0.01)
+        assert len(front) == 2
+
+    def test_single_point(self):
+        front = pareto_front([DesignPoint(None, 0.5, 5)])
+        assert len(front) == 1
+
+    def test_empty(self):
+        assert pareto_front([]) == []

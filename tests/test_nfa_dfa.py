@@ -1,0 +1,200 @@
+"""Unit tests for Thompson NFAs, subset construction and minimisation."""
+
+import re
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.ast import alt, concat, lit, opt, plus, star
+from repro.regex.charclass import CharClass
+from repro.regex.dfa import DFA
+from repro.regex.nfa import build_nfa
+from repro.regex.parser import parse_regex
+
+
+class TestNFA:
+    def test_literal_accepts(self):
+        nfa = build_nfa(lit("ab"))
+        assert nfa.accepts("ab")
+        assert not nfa.accepts("a")
+        assert not nfa.accepts("abc")
+
+    def test_alternation(self):
+        nfa = build_nfa(alt(lit("ab"), lit("cd")))
+        assert nfa.accepts("ab") and nfa.accepts("cd")
+        assert not nfa.accepts("ac")
+
+    def test_star(self):
+        nfa = build_nfa(star(lit("ab")))
+        assert nfa.accepts("")
+        assert nfa.accepts("abab")
+        assert not nfa.accepts("aba")
+
+    def test_epsilon_closure(self):
+        nfa = build_nfa(opt(lit("a")))
+        closure = nfa.epsilon_closure({nfa.start})
+        assert nfa.accept in closure  # empty string accepted
+
+    def test_plus_requires_one(self):
+        nfa = build_nfa(plus(lit("a")))
+        assert not nfa.accepts("")
+        assert nfa.accepts("aaa")
+
+    def test_all_charclasses(self):
+        node = concat(lit("a"), lit(CharClass.digits()))
+        nfa = build_nfa(node)
+        assert CharClass.digits() in nfa.all_charclasses()
+
+
+class TestSubsetConstruction:
+    def test_dfa_matches_nfa(self):
+        node = parse_regex("(ab|a)(b|)")
+        nfa = build_nfa(node)
+        dfa = DFA.from_nfa(nfa)
+        for text in ["ab", "abb", "a", "b", "", "aab"]:
+            assert dfa.accepts(text) == nfa.accepts(text)
+
+    def test_complete_table(self):
+        dfa = DFA.from_regex(lit("a"))
+        assert dfa.table.shape[1] == 256
+        # every entry is a valid state
+        assert (dfa.table >= 0).all()
+        assert (dfa.table < dfa.num_states).all()
+
+    def test_sink_absorbs(self):
+        dfa = DFA.from_regex(lit("abc"))
+        state = dfa.run("x")
+        assert dfa.run("anything", state) == state
+
+    def test_run_resumes_from_state(self):
+        dfa = DFA.from_regex(lit("abc"))
+        mid = dfa.run("ab")
+        assert dfa.accepting[dfa.run("c", mid)]
+
+
+class TestMinimisation:
+    def test_removes_redundant_states(self):
+        # (a|b)(a|b) written redundantly
+        node = alt(
+            concat(lit("a"), lit("a")),
+            concat(lit("a"), lit("b")),
+            concat(lit("b"), lit("a")),
+            concat(lit("b"), lit("b")),
+        )
+        dfa = DFA.from_nfa(build_nfa(node))
+        minimal = dfa.minimized()
+        # states: start, after-1-char, accept, sink
+        assert minimal.num_states == 4
+
+    def test_language_preserved(self):
+        node = parse_regex("(ab)*c|d+")
+        dfa = DFA.from_nfa(build_nfa(node))
+        minimal = dfa.minimized()
+        for text in ["c", "abc", "ababc", "d", "ddd", "ab", "", "abd"]:
+            assert dfa.accepts(text) == minimal.accepts(text)
+
+    def test_fig2_state_count(self):
+        """Fig. 2's DFA for i >= 35 has 5 live states (s0-s3 + accept)."""
+        dfa = DFA.from_pattern("3[5-9]|[4-9][0-9]|[1-9][0-9][0-9]+")
+        live = dfa.num_states - len(dfa.dead_states())
+        assert live == 5
+
+    def test_idempotent(self):
+        dfa = DFA.from_pattern("(a|b)*abb")
+        once = dfa.minimized()
+        twice = once.minimized()
+        assert once.num_states == twice.num_states
+
+
+class TestAlgebra:
+    def test_intersection(self):
+        evens = DFA.from_pattern("(aa)*")
+        nonempty = DFA.from_pattern("a+")
+        both = evens.intersect(nonempty)
+        assert both.accepts("aa")
+        assert not both.accepts("")
+        assert not both.accepts("aaa")
+
+    def test_union(self):
+        either = DFA.from_pattern("ab").union(DFA.from_pattern("cd"))
+        assert either.accepts("ab") and either.accepts("cd")
+        assert not either.accepts("ad")
+
+    def test_difference_and_emptiness(self):
+        broad = DFA.from_pattern("a+")
+        narrow = DFA.from_pattern("a")
+        diff = broad.difference(narrow)
+        assert diff.accepts("aa")
+        assert not diff.accepts("a")
+        assert narrow.difference(broad).is_empty()
+
+    def test_equivalence(self):
+        left = DFA.from_pattern("(a|b)*")
+        right = DFA.from_pattern("(b|a)*")
+        assert left.equivalent(right)
+        assert not left.equivalent(DFA.from_pattern("a*"))
+
+    def test_complement(self):
+        dfa = DFA.from_pattern("ab")
+        comp = dfa.complement()
+        assert not comp.accepts("ab")
+        assert comp.accepts("x")
+
+    def test_shortest_accepted(self):
+        dfa = DFA.from_pattern("aaa|aa")
+        assert dfa.shortest_accepted() == b"aa"
+
+    def test_shortest_accepted_empty_language(self):
+        dfa = DFA.from_pattern("a").intersect(DFA.from_pattern("b"))
+        assert dfa.shortest_accepted() is None
+
+
+class TestHardwareReorder:
+    def test_language_preserved(self):
+        dfa = DFA.from_pattern("ab|cd+")
+        reordered = dfa.hardware_reordered()
+        for text in ["ab", "cd", "cddd", "x", ""]:
+            assert dfa.accepts(text) == reordered.accepts(text)
+
+    def test_sink_becomes_zero(self):
+        dfa = DFA.from_pattern("abc")
+        reordered = dfa.hardware_reordered()
+        # state 0 is the most-targeted one: the sink
+        assert 0 in reordered.dead_states()
+
+    def test_transition_classes_cover_alphabet(self):
+        dfa = DFA.from_pattern("[0-9]+")
+        for edges in dfa.transition_classes():
+            union = CharClass.empty()
+            for charclass in edges.values():
+                union = union | charclass
+            assert len(union) == 256
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pattern=st.sampled_from(
+        [
+            "(a|b)*abb",
+            "a(b|c)d*",
+            "x+y+",
+            "(ab|ba)+",
+            "a{2,4}b?",
+            "[ab]*c",
+        ]
+    ),
+    text=st.text(alphabet="abcdxy", max_size=12),
+)
+def test_dfa_agrees_with_python_re(pattern, text):
+    dfa = DFA.from_pattern(pattern)
+    expected = re.fullmatch(pattern, text) is not None
+    assert dfa.accepts(text) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(text=st.text(alphabet="ab", max_size=16))
+def test_minimized_equals_original_pointwise(text):
+    dfa = DFA.from_nfa(build_nfa(parse_regex("(ab)*a?b+|ba")))
+    assert dfa.accepts(text) == dfa.minimized().accepts(text)

@@ -1,0 +1,287 @@
+"""Unit + property tests for the number-range regex derivation (Fig. 2)."""
+
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RangeBoundError
+from repro.regex.dfa import DFA
+from repro.regex.range_regex import (
+    DecimalBound,
+    decimal_range_regex,
+    exponent_escape_regex,
+    integer_range_regex,
+    number_range_regex,
+)
+
+def int_dfa(lo, hi):
+    return DFA.from_regex(integer_range_regex(lo, hi))
+
+
+def dec_dfa(lo, hi):
+    return DFA.from_regex(decimal_range_regex(lo, hi))
+
+
+class TestDecimalBound:
+    def test_parse_integer(self):
+        bound = DecimalBound.parse("35")
+        assert bound.int_part == 35
+        assert bound.frac_part == ""
+        assert not bound.negative
+
+    def test_parse_fraction_strips_trailing_zeros(self):
+        assert DecimalBound.parse("0.700").frac_part == "7"
+
+    def test_parse_negative(self):
+        assert DecimalBound.parse("-12.5").negative
+
+    def test_negative_zero_normalised(self):
+        assert not DecimalBound.parse("-0.0").negative
+
+    def test_rejects_exponent(self):
+        with pytest.raises(RangeBoundError):
+            DecimalBound.parse("1e3")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(RangeBoundError):
+            DecimalBound.parse("12a")
+
+
+class TestIntegerRanges:
+    def test_bounded_range_exhaustive(self):
+        dfa = int_dfa(12, 49)
+        for value in range(-20, 200):
+            assert dfa.accepts(str(value)) == (12 <= value <= 49), value
+
+    def test_fig2_lower_bound_only(self):
+        dfa = int_dfa(35, None)
+        for value in [0, 1, 34, 35, 36, 99, 100, 999, 12345]:
+            assert dfa.accepts(str(value)) == (value >= 35)
+
+    def test_upper_bound_only(self):
+        dfa = int_dfa(None, 120)
+        for value in [-500, -1, 0, 1, 119, 120, 121, 999]:
+            assert dfa.accepts(str(value)) == (value <= 120)
+
+    def test_negative_range(self):
+        dfa = int_dfa(-50, -10)
+        for value in range(-80, 30):
+            assert dfa.accepts(str(value)) == (-50 <= value <= -10), value
+
+    def test_range_spanning_zero(self):
+        dfa = int_dfa(-5, 5)
+        for value in range(-20, 21):
+            assert dfa.accepts(str(value)) == (-5 <= value <= 5)
+
+    def test_minus_zero_accepted_when_zero_in_range(self):
+        assert int_dfa(-5, 5).accepts("-0")
+        assert int_dfa(0, 5).accepts("-0")
+        assert not int_dfa(1, 5).accepts("-0")
+
+    def test_rejects_leading_zeros(self):
+        dfa = int_dfa(12, 49)
+        assert not dfa.accepts("012")
+        assert not dfa.accepts("00")
+
+    def test_rejects_float_tokens(self):
+        dfa = int_dfa(12, 49)
+        assert not dfa.accepts("12.5")
+        assert not dfa.accepts("30.0")
+
+    def test_single_value_range(self):
+        dfa = int_dfa(7, 7)
+        assert dfa.accepts("7")
+        assert not dfa.accepts("8")
+
+    def test_wide_range_with_digit_count_change(self):
+        dfa = int_dfa(140, 3155)
+        for value in [139, 140, 999, 1000, 3155, 3156, 9999]:
+            assert dfa.accepts(str(value)) == (140 <= value <= 3155)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(RangeBoundError):
+            integer_range_regex(10, 9)
+
+    @given(
+        lo=st.integers(-9999, 9999),
+        span=st.integers(0, 9999),
+        value=st.integers(-20000, 20000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_membership_property(self, lo, span, value):
+        hi = lo + span
+        dfa = int_dfa(lo, hi)
+        assert dfa.accepts(str(value)) == (lo <= value <= hi)
+
+
+class TestDecimalRanges:
+    def test_paper_temperature_range(self):
+        dfa = dec_dfa("0.7", "35.1")
+        cases = {
+            "0.7": True, "0.70": True, "0.69": False, "0.71": True,
+            "35.1": True, "35.10": True, "35.11": False, "35.2": False,
+            "35": True, "0": False, "1": True, "34.999": True,
+            "0.6999": False,
+        }
+        for text, expected in cases.items():
+            assert dfa.accepts(text) == expected, text
+
+    def test_integer_tokens_match_float_filters(self):
+        dfa = dec_dfa("2.5", "18.0")
+        assert dfa.accepts("3")
+        assert dfa.accepts("18")
+        assert not dfa.accepts("2")
+        assert not dfa.accepts("19")
+
+    def test_negative_bounds(self):
+        dfa = dec_dfa("-12.5", "43.1")
+        cases = {
+            "-12.5": True, "-12.51": False, "-12.4": True,
+            "-0.1": True, "-0": True, "0": True, "43.1": True,
+            "43.2": False, "-13": False,
+        }
+        for text, expected in cases.items():
+            assert dfa.accepts(text) == expected, text
+
+    def test_fully_negative_range(self):
+        dfa = dec_dfa("-8.25", "-1.5")
+        cases = {
+            "-8.25": True, "-8.26": False, "-1.5": True, "-1.49": False,
+            "-5": True, "0": False, "-0": False, "3": False,
+        }
+        for text, expected in cases.items():
+            assert dfa.accepts(text) == expected, text
+
+    def test_open_upper_bound(self):
+        dfa = DFA.from_regex(decimal_range_regex("83.36", None))
+        assert dfa.accepts("83.36")
+        assert dfa.accepts("84")
+        assert dfa.accepts("10000.01")
+        assert not dfa.accepts("83.35")
+        assert not dfa.accepts("83")
+
+    def test_open_lower_bound(self):
+        dfa = DFA.from_regex(decimal_range_regex(None, "18.0"))
+        assert dfa.accepts("18.0")
+        assert dfa.accepts("-99999")
+        assert not dfa.accepts("18.01")
+
+    def test_fraction_only_difference(self):
+        dfa = dec_dfa("1.25", "1.75")
+        cases = {
+            "1.25": True, "1.5": True, "1.75": True, "1.750001": False,
+            "1.24999": False, "1": False, "2": False, "1.3": True,
+        }
+        for text, expected in cases.items():
+            assert dfa.accepts(text) == expected, text
+
+    def test_trailing_zeros_never_change_meaning(self):
+        dfa = dec_dfa("0.5", "2")
+        assert dfa.accepts("0.5000")
+        assert dfa.accepts("2.0000")
+        assert not dfa.accepts("2.0001")
+
+    def test_rejects_bare_dot_tokens(self):
+        dfa = dec_dfa("0.5", "2")
+        assert not dfa.accepts("1.")
+        assert not dfa.accepts(".5")
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(RangeBoundError):
+            decimal_range_regex("2.5", "2.4")
+
+    @given(
+        lo_cents=st.integers(-500000, 500000),
+        span_cents=st.integers(0, 500000),
+        value_milli=st.integers(-800000000, 800000000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_membership_property(self, lo_cents, span_cents, value_milli):
+        lo = Decimal(lo_cents) / 100
+        hi = Decimal(lo_cents + span_cents) / 100
+        value = Decimal(value_milli) / 1000
+        dfa = dec_dfa(str(lo), str(hi))
+        text = format(value, "f")
+        assert dfa.accepts(text) == (lo <= value <= hi), (
+            text, str(lo), str(hi)
+        )
+
+
+class TestExponentEscape:
+    def test_tokens_with_digit_then_e_accepted(self):
+        dfa = DFA.from_regex(exponent_escape_regex())
+        for token in ["2.1e3", "1e+1", "100e-1", "1E9", "-3.5e2"]:
+            assert dfa.accepts(token), token
+
+    def test_tokens_without_exponent_rejected(self):
+        dfa = DFA.from_regex(exponent_escape_regex())
+        for token in ["213", "2.13", "-5", "e5", ".e1", "e", "-e-"]:
+            assert not dfa.accepts(token), token
+
+    def test_number_range_includes_escape_by_default(self):
+        dfa = DFA.from_regex(number_range_regex(12, 49, kind="int"))
+        assert dfa.accepts("9e9")  # out of range, exponent escape
+        assert not dfa.accepts("50")
+
+    def test_escape_can_be_disabled(self):
+        dfa = DFA.from_regex(
+            number_range_regex(12, 49, kind="int", allow_exponent=False)
+        )
+        assert not dfa.accepts("9e9")
+
+    def test_no_false_negative_for_exponent_values_in_range(self):
+        """The whole point: e-notation values in range are never dropped."""
+        dfa = DFA.from_regex(number_range_regex("0.7", "35.1"))
+        for token in ["2.1e1", "7e-1", "3.51e1"]:
+            assert dfa.accepts(token)
+
+
+class TestNumberRangeAPI:
+    def test_requires_a_bound(self):
+        with pytest.raises(RangeBoundError):
+            number_range_regex(None, None)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(RangeBoundError):
+            number_range_regex(1, 2, kind="complex")
+
+    def test_int_kind_truncates_to_int_semantics(self):
+        dfa = DFA.from_regex(
+            number_range_regex(12, 49, kind="int", allow_exponent=False)
+        )
+        assert not dfa.accepts("12.0")
+        assert dfa.accepts("12")
+
+    def test_float_kind_accepts_both_shapes(self):
+        dfa = DFA.from_regex(
+            number_range_regex(12, 49, kind="float", allow_exponent=False)
+        )
+        assert dfa.accepts("12.0")
+        assert dfa.accepts("12")
+
+
+class TestOpenBoundProperties:
+    @given(lo=st.integers(-5000, 5000), value=st.integers(-20000, 20000))
+    @settings(max_examples=100, deadline=None)
+    def test_lower_bound_only(self, lo, value):
+        dfa = int_dfa(lo, None)
+        assert dfa.accepts(str(value)) == (value >= lo)
+
+    @given(hi=st.integers(-5000, 5000), value=st.integers(-20000, 20000))
+    @settings(max_examples=100, deadline=None)
+    def test_upper_bound_only(self, hi, value):
+        dfa = int_dfa(None, hi)
+        assert dfa.accepts(str(value)) == (value <= hi)
+
+    @given(
+        lo_cents=st.integers(-30000, 30000),
+        value_milli=st.integers(-80000000, 80000000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_decimal_lower_bound_only(self, lo_cents, value_milli):
+        lo = Decimal(lo_cents) / 100
+        value = Decimal(value_milli) / 1000
+        dfa = DFA.from_regex(decimal_range_regex(str(lo), None))
+        assert dfa.accepts(format(value, "f")) == (value >= lo)

@@ -1,0 +1,148 @@
+"""Unit tests for the regex AST and its smart constructors."""
+
+import pytest
+
+from repro.regex.ast import (
+    EPSILON,
+    NEVER,
+    Alt,
+    Concat,
+    Literal,
+    Opt,
+    Plus,
+    Star,
+    alt,
+    concat,
+    lit,
+    opt,
+    plus,
+    repeat,
+    star,
+)
+from repro.regex.charclass import CharClass
+
+
+class TestLiterals:
+    def test_lit_single_char(self):
+        node = lit("a")
+        assert isinstance(node, Literal)
+        assert "a" in node.charclass
+
+    def test_lit_string_becomes_concat(self):
+        node = lit("ab")
+        assert isinstance(node, Concat)
+        assert node.to_pattern() == "ab"
+
+    def test_lit_empty_string_is_epsilon(self):
+        assert lit("") is EPSILON
+
+    def test_lit_charclass(self):
+        node = lit(CharClass.digits())
+        assert node.to_pattern() == "[0-9]"
+
+    def test_lit_empty_class_is_never(self):
+        assert lit(CharClass.empty()) is NEVER
+
+    def test_literal_rejects_empty_class(self):
+        with pytest.raises(ValueError):
+            Literal(CharClass.empty())
+
+
+class TestConcat:
+    def test_flattens(self):
+        node = concat(lit("a"), concat(lit("b"), lit("c")))
+        assert isinstance(node, Concat)
+        assert len(node.parts) == 3
+
+    def test_epsilon_elision(self):
+        assert concat(EPSILON, lit("a"), EPSILON).to_pattern() == "a"
+
+    def test_never_absorbs(self):
+        assert concat(lit("a"), NEVER) is NEVER
+
+    def test_empty_concat_is_epsilon(self):
+        assert concat() is EPSILON
+
+    def test_single_part_unwrapped(self):
+        assert concat(lit("a")) == lit("a")
+
+
+class TestAlt:
+    def test_merges_single_char_options(self):
+        node = alt(lit("3"), lit(CharClass.digit_range(4, 9)))
+        assert isinstance(node, Literal)
+        assert node.to_pattern() == "[3-9]"
+
+    def test_never_dropped(self):
+        assert alt(NEVER, lit("a")) == lit("a")
+
+    def test_all_never_is_never(self):
+        assert alt(NEVER, NEVER) is NEVER
+
+    def test_epsilon_option_becomes_opt(self):
+        node = alt(EPSILON, lit("ab"))
+        assert isinstance(node, Opt)
+
+    def test_flattening(self):
+        node = alt(lit("ab"), alt(lit("cd"), lit("ef")))
+        assert isinstance(node, Alt)
+        assert len(node.options) == 3
+
+    def test_deduplication(self):
+        node = alt(lit("ab"), lit("ab"))
+        assert node == lit("ab")
+
+    def test_pattern_rendering(self):
+        node = alt(lit("ab"), lit("cd"))
+        assert node.to_pattern() == "ab|cd"
+
+
+class TestRepetition:
+    def test_star_of_star(self):
+        assert star(star(lit("a"))) == star(lit("a"))
+
+    def test_star_of_epsilon(self):
+        assert star(EPSILON) is EPSILON
+
+    def test_plus_of_never(self):
+        assert plus(NEVER) is NEVER
+
+    def test_opt_of_plus_is_star(self):
+        node = opt(plus(lit("a")))
+        assert isinstance(node, Star)
+
+    def test_repeat_exact(self):
+        node = repeat(lit("a"), 3, 3)
+        assert node.to_pattern() == "a{3}"
+
+    def test_repeat_unbounded(self):
+        node = repeat(lit("a"), 2, None)
+        assert node.to_pattern() == "a{2,}"
+
+    def test_repeat_zero_one_is_opt(self):
+        assert isinstance(repeat(lit("ab"), 0, 1), Opt)
+
+    def test_repeat_one_is_identity(self):
+        assert repeat(lit("a"), 1, 1) == lit("a")
+
+    def test_repeat_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            repeat(lit("a"), 3, 2)
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert concat(lit("a"), lit("b")) == concat(lit("a"), lit("b"))
+
+    def test_hashable(self):
+        seen = {star(lit("a")), star(lit("a"))}
+        assert len(seen) == 1
+
+    def test_pattern_round_trip_shapes(self):
+        node = concat(lit("a"), alt(lit("bc"), star(lit("d"))))
+        assert node.to_pattern() == "a(bc|d*)"
+
+    def test_immutable(self):
+        node = lit("a")
+        with pytest.raises(AttributeError):
+            node.charclass = CharClass.full()

@@ -1,0 +1,166 @@
+"""Unit tests for the regex parser, cross-checked against Python's re."""
+
+import re
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RegexSyntaxError
+from repro.regex.dfa import DFA
+from repro.regex.parser import parse_regex
+
+
+def dfa_of(pattern):
+    return DFA.from_regex(parse_regex(pattern))
+
+
+def agrees_with_re(pattern, candidates):
+    """Our DFA accepts exactly the strings re fullmatch accepts."""
+    compiled = re.compile(pattern, re.DOTALL)
+    dfa = dfa_of(pattern)
+    for text in candidates:
+        expected = compiled.fullmatch(text) is not None
+        assert dfa.accepts(text) == expected, (pattern, text)
+
+
+class TestBasicSyntax:
+    def test_literal(self):
+        agrees_with_re("abc", ["abc", "ab", "abcd", ""])
+
+    def test_alternation(self):
+        agrees_with_re("ab|cd", ["ab", "cd", "ad", ""])
+
+    def test_star(self):
+        agrees_with_re("a*", ["", "a", "aaaa", "b"])
+
+    def test_plus(self):
+        agrees_with_re("a+", ["", "a", "aaa"])
+
+    def test_opt(self):
+        agrees_with_re("ab?c", ["ac", "abc", "abbc"])
+
+    def test_grouping(self):
+        agrees_with_re("(ab)+", ["ab", "abab", "aba"])
+
+    def test_non_capturing_group(self):
+        agrees_with_re("(?:ab)+", ["ab", "abab", "a"])
+
+    def test_dot_matches_everything(self):
+        dfa = dfa_of(".")
+        assert dfa.accepts("a")
+        assert dfa.accepts("\n")  # byte-alphabet dot, no DOTALL needed
+
+    def test_empty_pattern(self):
+        dfa = dfa_of("")
+        assert dfa.accepts("")
+        assert not dfa.accepts("a")
+
+
+class TestCharClasses:
+    def test_simple_class(self):
+        agrees_with_re("[abc]+", ["a", "abc", "d", ""])
+
+    def test_range_class(self):
+        agrees_with_re("[0-9]+", ["42", "a", ""])
+
+    def test_negated_class(self):
+        agrees_with_re("[^0-9]", ["a", "5", ""])
+
+    def test_class_with_escape(self):
+        agrees_with_re(r"[\d]+", ["123", "a"])
+
+    def test_literal_dash_at_end(self):
+        agrees_with_re("[a-]", ["a", "-", "b"])
+
+    def test_shorthand_digit(self):
+        agrees_with_re(r"\d{2}", ["12", "1", "123", "ab"])
+
+    def test_shorthand_word(self):
+        agrees_with_re(r"\w+", ["abc_123", "a b"])
+
+    def test_shorthand_space(self):
+        agrees_with_re(r"\s", [" ", "\t", "a"])
+
+    def test_hex_escape(self):
+        dfa = dfa_of(r"\x41")
+        assert dfa.accepts("A")
+        assert not dfa.accepts("B")
+
+
+class TestCountedRepetition:
+    def test_exact(self):
+        agrees_with_re("a{3}", ["aaa", "aa", "aaaa"])
+
+    def test_range(self):
+        agrees_with_re("a{2,4}", ["a", "aa", "aaa", "aaaa", "aaaaa"])
+
+    def test_open_ended(self):
+        agrees_with_re("a{2,}", ["a", "aa", "aaaaaa"])
+
+    def test_zero_allowed(self):
+        agrees_with_re("a{0,2}", ["", "a", "aa", "aaa"])
+
+    def test_applies_to_group(self):
+        agrees_with_re("(ab){2}", ["abab", "ab", "ababab"])
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "(ab",
+            "ab)",
+            "[abc",
+            "a{2,1}",
+            "*a",
+            "a{",
+            "a|*",
+            "[]",
+        ],
+    )
+    def test_syntax_errors(self, pattern):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(pattern)
+
+    def test_error_carries_position(self):
+        try:
+            parse_regex("ab(cd")
+        except RegexSyntaxError as err:
+            assert err.pattern == "ab(cd"
+            assert err.position >= 2
+        else:  # pragma: no cover
+            pytest.fail("expected a syntax error")
+
+
+class TestPaperPatterns:
+    def test_fig2_regex(self):
+        """The paper's Fig. 2 regular expression for i >= 35."""
+        pattern = "3[5-9]|[4-9][0-9]|[1-9][0-9][0-9]+"
+        dfa = dfa_of(pattern)
+        for value in [0, 34, 35, 36, 99, 100, 5153, 9]:
+            assert dfa.accepts(str(value)) == (value >= 35)
+
+    def test_date_format(self):
+        """§III-B: the method also covers date formats."""
+        pattern = r"2013-01-[0-3][0-9] [0-2][0-9]:[0-5][0-9]:[0-5][0-9]"
+        dfa = dfa_of(pattern)
+        assert dfa.accepts("2013-01-07 18:15:00")
+        assert not dfa.accepts("2014-01-07 18:15:00")
+
+
+@given(st.text(alphabet="ab()|*+?", max_size=10))
+def test_parser_never_crashes_unexpectedly(pattern):
+    """Any input either parses or raises RegexSyntaxError — nothing else."""
+    try:
+        parse_regex(pattern)
+    except RegexSyntaxError:
+        pass
+
+
+@given(
+    st.text(alphabet="abc", max_size=6),
+    st.lists(st.text(alphabet="abc", max_size=8), max_size=8),
+)
+def test_literal_patterns_agree_with_re(pattern, candidates):
+    agrees_with_re(pattern, candidates)

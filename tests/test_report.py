@@ -1,0 +1,78 @@
+"""Tests for the table/scatter renderers."""
+
+import pytest
+
+import repro.core.composition as comp
+from repro.eval.report import (
+    format_fpr,
+    format_notation,
+    render_scatter,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(
+            ["name", "value"], [["a", 1], ["longer", 22]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_title(self):
+        table = render_table(["x"], [["y"]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_values_stringified(self):
+        table = render_table(["v"], [[0.125], [None]])
+        assert "0.125" in table and "None" in table
+
+
+class TestRenderScatter:
+    def test_empty(self):
+        assert render_scatter([]) == "(no points)"
+
+    def test_glyph_placement(self):
+        plot = render_scatter(
+            [(0.0, 100, "3"), (1.0, 10, "1")], width=20, height=5
+        )
+        lines = plot.splitlines()
+        # the high-LUT point is near the top, low-FPR -> left edge
+        assert any(line.startswith("|3") for line in lines)
+        # the low-LUT point sits near the bottom right
+        assert any(line.rstrip().endswith("1") for line in lines)
+
+    def test_axis_labels(self):
+        plot = render_scatter([(0.5, 5, "x")], title="T")
+        assert plot.splitlines()[0] == "T"
+        assert "LUTs" in plot
+        assert "FPR" in plot
+
+    def test_clipping_in_bounds(self):
+        plot = render_scatter(
+            [(1.0, 1, "a"), (0.0, 999, "b")], width=10, height=4
+        )
+        for line in plot.splitlines():
+            if line.startswith(("|", "+")):
+                assert len(line) <= 11
+
+
+class TestFormatters:
+    def test_format_fpr(self):
+        assert format_fpr(0.85349) == "0.853"
+
+    def test_format_notation_passthrough(self):
+        expr = comp.s("dust", 1)
+        assert format_notation(expr) == 's1("dust")'
+
+    def test_format_notation_truncates(self):
+        expr = comp.And([comp.s("temperature", 1)] * 6)
+        text = format_notation(expr, max_width=30)
+        assert len(text) == 30
+        assert text.endswith("...")

@@ -1,0 +1,219 @@
+"""Unit tests for the RTL layer: BitVec arithmetic, registers, simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynthesisError
+from repro.hw.aig import FALSE, TRUE, node_of
+from repro.hw.gatesim import CycleSimulator
+from repro.hw.rtl import BitVec, Circuit
+from repro.regex.charclass import CharClass
+
+
+def eval_vec_literal(circuit, literal, assignments):
+    """Evaluate a literal for dict {input_name: int} over vector ports."""
+    aig = circuit.aig
+    node_values = {}
+    for name, value in assignments.items():
+        port = circuit.inputs[name]
+        if hasattr(port, "bits"):
+            for position, bit in enumerate(port.bits):
+                node_values[node_of(bit)] = bool(value >> position & 1)
+        else:
+            node_values[node_of(port)] = bool(value)
+    return circuit.aig.eval_literals([literal], node_values)[0]
+
+
+class TestBitVecComparisons:
+    @given(value=st.integers(0, 255), const=st.integers(0, 255))
+    @settings(max_examples=80, deadline=None)
+    def test_eq_const(self, value, const):
+        circuit = Circuit()
+        vec = circuit.add_input_vector("x", 8)
+        literal = vec.eq_const(const)
+        assert eval_vec_literal(circuit, literal, {"x": value}) == (
+            value == const
+        )
+
+    @given(value=st.integers(0, 255), const=st.integers(0, 300))
+    @settings(max_examples=80, deadline=None)
+    def test_ge_const(self, value, const):
+        circuit = Circuit()
+        vec = circuit.add_input_vector("x", 8)
+        literal = vec.ge_const(const)
+        assert eval_vec_literal(circuit, literal, {"x": value}) == (
+            value >= const
+        )
+
+    @given(value=st.integers(0, 255), const=st.integers(0, 300))
+    @settings(max_examples=80, deadline=None)
+    def test_le_const(self, value, const):
+        circuit = Circuit()
+        vec = circuit.add_input_vector("x", 8)
+        literal = vec.le_const(const)
+        assert eval_vec_literal(circuit, literal, {"x": value}) == (
+            value <= const
+        )
+
+    def test_eq_vector(self):
+        circuit = Circuit()
+        a = circuit.add_input_vector("a", 4)
+        b = circuit.add_input_vector("b", 4)
+        literal = a.eq(b)
+        assert eval_vec_literal(circuit, literal, {"a": 9, "b": 9})
+        assert not eval_vec_literal(circuit, literal, {"a": 9, "b": 8})
+
+    def test_eq_width_mismatch(self):
+        circuit = Circuit()
+        a = circuit.add_input_vector("a", 4)
+        b = circuit.add_input_vector("b", 5)
+        with pytest.raises(SynthesisError):
+            a.eq(b)
+
+    def test_is_zero(self):
+        circuit = Circuit()
+        vec = circuit.add_input_vector("x", 5)
+        literal = vec.is_zero()
+        assert eval_vec_literal(circuit, literal, {"x": 0})
+        assert not eval_vec_literal(circuit, literal, {"x": 16})
+
+
+class TestBitVecArithmetic:
+    @given(value=st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_increment(self, value):
+        circuit = Circuit()
+        vec = circuit.add_input_vector("x", 5)
+        inc = vec.increment()
+        got = sum(
+            eval_vec_literal(circuit, bit, {"x": value}) << i
+            for i, bit in enumerate(inc.bits)
+        )
+        assert got == (value + 1) % 32
+
+    @given(value=st.integers(0, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_decrement(self, value):
+        circuit = Circuit()
+        vec = circuit.add_input_vector("x", 5)
+        dec = vec.decrement()
+        got = sum(
+            eval_vec_literal(circuit, bit, {"x": value}) << i
+            for i, bit in enumerate(dec.bits)
+        )
+        assert got == (value - 1) % 32
+
+    def test_increment_disabled(self):
+        circuit = Circuit()
+        vec = circuit.add_input_vector("x", 4)
+        same = vec.increment(enable=FALSE)
+        got = sum(
+            eval_vec_literal(circuit, bit, {"x": 11}) << i
+            for i, bit in enumerate(same.bits)
+        )
+        assert got == 11
+
+    def test_mux_selects(self):
+        circuit = Circuit()
+        a = circuit.add_input_vector("a", 4)
+        b = circuit.add_input_vector("b", 4)
+        sel = circuit.add_input("sel")
+        out = a.mux(sel, b)
+        values = {"a": 3, "b": 12, "sel": 1}
+        got = sum(
+            eval_vec_literal(circuit, bit, values) << i
+            for i, bit in enumerate(out.bits)
+        )
+        assert got == 12
+
+    def test_constant_vector(self):
+        circuit = Circuit()
+        vec = BitVec.constant(circuit, 6, 37)
+        assert [bit == TRUE for bit in vec.bits] == [
+            bool(37 >> i & 1) for i in range(6)
+        ]
+
+
+class TestByteClass:
+    @given(byte=st.integers(0, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_byte_in_class(self, byte):
+        charclass = CharClass.range("0", "9") | CharClass.of("e", "E", "-")
+        circuit = Circuit()
+        vec = circuit.add_input_vector("byte", 8)
+        literal = circuit.byte_in_class(vec, charclass)
+        assert eval_vec_literal(circuit, literal, {"byte": byte}) == (
+            byte in charclass
+        )
+
+    def test_empty_class_is_false(self):
+        circuit = Circuit()
+        vec = circuit.add_input_vector("byte", 8)
+        assert circuit.byte_in_class(vec, CharClass.empty()) == FALSE
+
+
+class TestRegisters:
+    def test_register_requires_next(self):
+        circuit = Circuit()
+        circuit.add_register("r")
+        with pytest.raises(SynthesisError):
+            circuit.lut_count()
+
+    def test_set_next_rejects_non_register(self):
+        circuit = Circuit()
+        a = circuit.add_input("a")
+        with pytest.raises(SynthesisError):
+            circuit.set_next(a, TRUE)
+
+    def test_toggle_register(self):
+        circuit = Circuit()
+        r = circuit.add_register("r")
+        circuit.set_next(r, circuit.aig.lnot(r))
+        circuit.add_output("q", r)
+        sim = CycleSimulator(circuit)
+        trace = [sim.step({})["q"] for _ in range(4)]
+        assert trace == [False, True, False, True]
+
+    def test_sticky_flag(self):
+        circuit = Circuit()
+        set_in = circuit.add_input("set")
+        clear_in = circuit.add_input("clear")
+        flag = circuit.sticky("flag", set_in, clear_in)
+        circuit.add_output("q", flag)
+        sim = CycleSimulator(circuit)
+        assert not sim.step({"set": 0, "clear": 0})["q"]
+        sim.step({"set": 1, "clear": 0})
+        assert sim.step({"set": 0, "clear": 0})["q"]  # stays set
+        sim.step({"set": 0, "clear": 1})
+        assert not sim.step({"set": 0, "clear": 0})["q"]
+
+    def test_register_vector_init(self):
+        circuit = Circuit()
+        vec = circuit.add_register_vector("count", 4, init=5)
+        circuit.set_next_vector(vec, vec)
+        circuit.add_output("bit0", vec[0])
+        circuit.add_output("bit2", vec[2])
+        sim = CycleSimulator(circuit)
+        out = sim.step({})
+        assert out["bit0"] and out["bit2"]
+
+    def test_counter_circuit(self):
+        circuit = Circuit()
+        vec = circuit.add_register_vector("count", 4)
+        circuit.set_next_vector(vec, vec.increment())
+        circuit.add_output("wrap", vec.eq_const(15))
+        sim = CycleSimulator(circuit)
+        fired = [sim.step({})["wrap"] for _ in range(32)]
+        assert fired.index(True) == 15
+        assert fired[31]
+
+    def test_stats_reports(self):
+        circuit = Circuit()
+        vec = circuit.add_register_vector("count", 4)
+        circuit.set_next_vector(vec, vec.increment())
+        circuit.add_output("z", vec.is_zero())
+        stats = circuit.stats()
+        assert stats["ffs"] == 4
+        assert stats["luts"] > 0
+        assert stats["depth"] >= 1

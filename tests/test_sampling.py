@@ -1,0 +1,73 @@
+"""Tests for sampled FPR estimation (future-work item)."""
+
+import pytest
+
+from repro.core.sampling import (
+    sample_dataset,
+    sampled_design_space,
+    sampling_error_study,
+)
+from repro.data import QS0, load_dataset
+from repro.errors import DesignSpaceError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("smartcity", 800)
+
+
+class TestSampleDataset:
+    def test_size(self, dataset):
+        subset, indices = sample_dataset(dataset, 0.25, seed=1)
+        assert len(subset) == pytest.approx(200, abs=2)
+        assert len(indices) == len(subset)
+
+    def test_stratified_preserves_balance(self, dataset):
+        truth = QS0.truth_array(dataset)
+        subset, indices = sample_dataset(
+            dataset, 0.2, seed=2, stratify_truth=truth
+        )
+        sub_rate = truth[indices].mean()
+        assert abs(sub_rate - truth.mean()) < 0.05
+
+    def test_full_fraction_keeps_everything(self, dataset):
+        subset, _ = sample_dataset(dataset, 1.0, seed=3)
+        assert len(subset) == len(dataset)
+
+    def test_bad_fraction(self, dataset):
+        with pytest.raises(DesignSpaceError):
+            sample_dataset(dataset, 0.0)
+        with pytest.raises(DesignSpaceError):
+            sample_dataset(dataset, 1.5)
+
+    def test_deterministic(self, dataset):
+        a, ia = sample_dataset(dataset, 0.3, seed=9)
+        b, ib = sample_dataset(dataset, 0.3, seed=9)
+        assert ia.tolist() == ib.tolist()
+
+
+class TestSampledSpace:
+    def test_space_over_subset(self, dataset):
+        space = sampled_design_space(QS0, dataset, 0.25, seed=1)
+        assert len(space.dataset) < len(dataset)
+        choice = next(iter(space.iter_choices()))
+        fpr, luts, _ = space.evaluate_choice(choice)
+        assert 0.0 <= fpr <= 1.0
+
+    def test_error_study_shrinks_with_sample_size(self, dataset):
+        rows = sampling_error_study(
+            QS0, dataset, fractions=(0.5, 0.1), seed=0
+        )
+        assert rows[0]["fraction"] == 0.5
+        # larger samples estimate at least as well on average
+        assert rows[0]["mean_abs_error"] <= rows[1]["mean_abs_error"] + 0.02
+
+    def test_error_study_reports_record_counts(self, dataset):
+        rows = sampling_error_study(QS0, dataset, fractions=(0.25,),
+                                    seed=1)
+        assert rows[0]["records"] == pytest.approx(200, abs=3)
+
+    def test_errors_are_small_for_half_sample(self, dataset):
+        rows = sampling_error_study(QS0, dataset, fractions=(0.5,),
+                                    seed=2)
+        assert rows[0]["mean_abs_error"] < 0.06

@@ -1,0 +1,125 @@
+"""Unit tests for the Fig. 4 SoC/DMA throughput simulation."""
+
+import pytest
+
+import repro.core.composition as comp
+from repro.data import Dataset, inflate, load_dataset
+from repro.errors import ReproError
+from repro.system import (
+    DMAConfig,
+    DMAEngine,
+    FilterLane,
+    RawFilterSoC,
+    SoCConfig,
+)
+
+
+def simple_filter():
+    return comp.group(comp.s("temperature", 1), comp.v("0.7", "35.1"))
+
+
+class TestDMA:
+    def test_transfer_timing_monotonic(self):
+        engine = DMAEngine()
+        _, first = engine.transfer(4096)
+        start, second = engine.transfer(4096)
+        assert start >= first
+        assert second > first
+
+    def test_burst_overheads_accumulate(self):
+        config = DMAConfig(burst_bytes=1024,
+                           descriptor_overhead_cycles=50)
+        engine = DMAEngine(config)
+        _, one_burst = engine.transfer(1024)
+        engine.reset()
+        _, four_bursts = engine.transfer(4096)
+        assert four_bursts > 4 * (one_burst - config.channel_setup_cycles)
+
+    def test_zero_bytes_is_free(self):
+        engine = DMAEngine()
+        assert engine.transfer(0) == (0, 0)
+
+    def test_effective_bandwidth_below_raw_width(self):
+        engine = DMAEngine()
+        bandwidth = engine.effective_bandwidth(1 << 20, 200e6)
+        assert bandwidth < 8 * 200e6
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ReproError):
+            DMAConfig(burst_bytes=0)
+
+
+class TestLane:
+    def test_byte_per_cycle_contract(self):
+        lane = FilterLane(simple_filter())
+        records = [b'{"a":1}', b'{"b":2}']
+        cycles, _ = lane.process_records(records)
+        payload = sum(len(r) + 1 for r in records)
+        assert cycles == payload + lane.pipeline_fill_cycles
+
+    def test_functional_results(self):
+        lane = FilterLane(simple_filter())
+        records = [
+            b'{"e":[{"v":"30.0","n":"temperature"}]}',
+            b'{"e":[{"v":"99.0","n":"temperature"}]}',
+        ]
+        _, matches = lane.process_records(records)
+        assert matches.tolist() == [True, False]
+
+
+class TestSoC:
+    def test_paper_throughput_band(self):
+        """§IV-B: 1.33 GB/s measured vs 1.4 GB/s theoretical."""
+        dataset = load_dataset("smartcity", 400)
+        corpus = inflate(dataset, 44 * 1024 * 1024)
+        soc = RawFilterSoC(simple_filter())
+        report = soc.run(corpus, functional=False)
+        assert report.theoretical_bandwidth == 7 * 200_000_000
+        assert 1.25e9 < report.achieved_bandwidth < 1.40e9
+        assert report.utilization > 0.9
+
+    def test_sustains_10gbit_line_rate(self):
+        dataset = load_dataset("smartcity", 200)
+        corpus = inflate(dataset, 4 * 1024 * 1024)
+        report = RawFilterSoC(simple_filter()).run(corpus,
+                                                   functional=False)
+        assert report.sustains_line_rate(10.0)
+        assert not report.sustains_line_rate(40.0)
+
+    def test_functional_results_match_oracle_superset(self):
+        from repro.data import QS0
+
+        dataset = load_dataset("smartcity", 300)
+        expr = simple_filter()
+        soc = RawFilterSoC(expr)
+        report = soc.run(dataset)
+        truth = QS0.truth_array(dataset)
+        # the temperature group alone over-approximates the full query
+        assert not (truth & ~report.matches).any()
+
+    def test_lane_scaling(self):
+        dataset = load_dataset("smartcity", 200)
+        corpus = inflate(dataset, 2 * 1024 * 1024)
+        one = RawFilterSoC(
+            simple_filter(), SoCConfig(num_lanes=1)
+        ).run(corpus, functional=False)
+        seven = RawFilterSoC(
+            simple_filter(), SoCConfig(num_lanes=7)
+        ).run(corpus, functional=False)
+        assert seven.achieved_bandwidth > 4 * one.achieved_bandwidth
+
+    def test_record_partitioning_covers_everything(self):
+        dataset = load_dataset("smartcity", 101)
+        soc = RawFilterSoC(simple_filter())
+        assignments = soc._partition(dataset)
+        flat = sorted(i for lane in assignments for i in lane)
+        assert flat == list(range(101))
+
+    def test_empty_dataset(self):
+        soc = RawFilterSoC(simple_filter())
+        report = soc.run(Dataset("empty", []), functional=False)
+        assert report.total_cycles == 0
+
+    def test_bad_config(self):
+        with pytest.raises(ReproError):
+            SoCConfig(num_lanes=0)

@@ -1,0 +1,69 @@
+"""Tests for the timing estimator + the paper's 200 MHz feasibility claim."""
+
+import pytest
+
+import repro.core.composition as comp
+from repro.core.number_filter import NumberRangeFilter
+from repro.hw.timing import TimingModel, estimate_fmax, meets_clock
+from repro.hw.circuits import (
+    build_raw_filter_circuit,
+    dfa_string_matcher_circuit,
+    full_matcher_circuit,
+    number_filter_circuit,
+    substring_matcher_circuit,
+)
+
+
+class TestModel:
+    def test_deeper_paths_are_slower(self):
+        model = TimingModel()
+        assert model.fmax_hz(2) > model.fmax_hz(6)
+
+    def test_critical_path_monotone(self):
+        model = TimingModel()
+        delays = [model.critical_path_ns(d) for d in range(1, 8)]
+        assert delays == sorted(delays)
+
+    def test_custom_parameters(self):
+        slow = TimingModel(lut_delay_ns=1.0, net_delay_ns=2.0)
+        fast = TimingModel()
+        assert slow.fmax_hz(3) < fast.fmax_hz(3)
+
+
+class TestPaperClockClaim:
+    """Every primitive used in the evaluation closes 200 MHz."""
+
+    @pytest.mark.parametrize("block", [1, 2, 4])
+    def test_substring_matchers(self, block):
+        circuit = substring_matcher_circuit("temperature", block)
+        assert meets_clock(circuit)
+
+    def test_full_matcher(self):
+        assert meets_clock(full_matcher_circuit("trip_time_in_secs"))
+
+    def test_dfa_matcher(self):
+        assert meets_clock(dfa_string_matcher_circuit("favourites_count"))
+
+    @pytest.mark.parametrize(
+        "lo,hi,kind",
+        [(12, 49, "int"), ("83.36", "3322.67", "float")],
+    )
+    def test_number_filters(self, lo, hi, kind):
+        dfa = NumberRangeFilter(lo, hi, kind=kind).dfa
+        assert meets_clock(number_filter_circuit(dfa))
+
+    def test_composed_pareto_filter(self):
+        expr = comp.And(
+            [
+                comp.group(comp.s("temperature", 1),
+                           comp.v("0.7", "35.1")),
+                comp.group(comp.s("humidity", 1),
+                           comp.v("20.3", "69.1")),
+                comp.v_int(12, 49),
+            ]
+        )
+        circuit = build_raw_filter_circuit(expr)
+        fmax = estimate_fmax(circuit)
+        assert fmax >= 200e6
+        # and comfortably so — the paper's primitives are shallow
+        assert fmax >= 250e6
