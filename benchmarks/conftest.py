@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from .common import RESULTS_DIR
+from common import RESULTS_DIR
 
 
 @pytest.fixture(scope="session", autouse=True)

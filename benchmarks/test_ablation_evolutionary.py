@@ -15,7 +15,7 @@ from repro.data import QS1
 from repro.eval.pareto import DesignPoint, pareto_front
 from repro.eval.report import render_table
 
-from .common import dataset, write_result
+from common import dataset, write_result
 
 
 def hypervolume(points, ref_fpr=1.0, ref_luts=500):

@@ -18,7 +18,7 @@ from repro.system.multi import (
     reconfiguration_seconds,
 )
 
-from .common import dataset, write_result
+from common import dataset, write_result
 
 
 def test_ablation_multistream(benchmark):

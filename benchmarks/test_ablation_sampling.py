@@ -12,7 +12,7 @@ from repro.core.sampling import sampling_error_study
 from repro.data import QS0
 from repro.eval.report import render_table
 
-from .common import dataset, write_result
+from common import dataset, write_result
 
 
 def test_ablation_sampling(benchmark):

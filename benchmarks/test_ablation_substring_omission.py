@@ -20,7 +20,7 @@ from repro.eval.metrics import FilterMetrics
 from repro.eval.report import render_table
 from repro.hw.rtl import Circuit
 
-from .common import dataset_view, exact_presence_truth, write_result
+from common import dataset_view, exact_presence_truth, write_result
 
 
 class ThinnedSubstringMatcher:

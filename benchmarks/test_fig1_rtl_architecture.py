@@ -13,7 +13,7 @@ from repro.hw.gatesim import CycleSimulator
 from repro.hw.timing import estimate_fmax
 from repro.hw.circuits import substring_matcher_circuit
 
-from .common import write_result
+from common import write_result
 
 
 def test_fig1_reproduction(benchmark):

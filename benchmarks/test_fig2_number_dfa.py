@@ -11,7 +11,7 @@ from repro.eval.report import render_table
 from repro.regex.dfa import DFA
 from repro.regex.range_regex import integer_range_regex
 
-from .common import write_result
+from common import write_result
 
 
 def build():

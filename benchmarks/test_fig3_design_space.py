@@ -13,7 +13,7 @@ from repro.core.design_space import DesignSpace
 from repro.data import ALL_QUERIES
 from repro.eval.report import render_scatter
 
-from .common import dataset, write_result
+from common import dataset, write_result
 
 
 @pytest.fixture(scope="module")

@@ -14,7 +14,7 @@ from repro.eval.metrics import FilterMetrics
 from repro.eval.report import render_table
 from repro.system import RawFilterSoC, SoCConfig
 
-from .common import dataset, write_result
+from common import dataset, write_result
 
 CORPUS_BYTES = 44 * 1024 * 1024
 

@@ -15,7 +15,7 @@ from repro.data import QS0
 from repro.eval.harness import DatasetView, evaluate_expression
 from repro.eval.report import render_table
 
-from .common import dataset, write_result
+from common import dataset, write_result
 
 
 def test_software_throughput(benchmark):

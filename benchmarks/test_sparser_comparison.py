@@ -12,7 +12,7 @@ from repro.data import ALL_QUERIES
 from repro.eval.metrics import FilterMetrics
 from repro.eval.report import render_table
 
-from .common import dataset, write_result
+from common import dataset, write_result
 
 
 def best_raw_filter_fpr(query):

@@ -8,7 +8,7 @@ slowly with B, while DFA/full costs grow with needle length.
 
 from repro.data import TABLE1_STRINGS
 
-from .common import (
+from common import (
     dataset_view,
     string_matcher_fpr,
     string_matcher_luts,

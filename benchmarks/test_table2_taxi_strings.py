@@ -7,7 +7,7 @@ the same letters; B = 2 repairs it completely.
 
 from repro.data import TABLE2_STRINGS
 
-from .common import (
+from common import (
     dataset_view,
     string_matcher_fpr,
     string_table,

@@ -7,7 +7,7 @@ snake_case needles stay near 0 even at B=1; B=2 repairs everything.
 
 from repro.data import TABLE3_STRINGS
 
-from .common import (
+from common import (
     dataset_view,
     string_matcher_fpr,
     string_table,

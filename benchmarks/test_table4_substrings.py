@@ -3,7 +3,7 @@
 from repro.core.string_match import substrings, unique_substrings
 from repro.eval.report import render_table
 
-from .common import write_result
+from common import write_result
 
 
 def test_table4_reproduction(benchmark):

@@ -9,7 +9,7 @@ cheapest zero-FPR configuration needs (almost) all five attributes.
 from repro.core.design_space import DesignSpace
 from repro.data import QS0
 
-from .common import dataset, pareto_table, write_result
+from common import dataset, pareto_table, write_result
 
 PAPER_FRONT = [
     ("v(12 <= i <= 49)", 0.853, 18),

@@ -10,7 +10,7 @@ light values separate cleanly from all other attributes; a small FPR
 from repro.core.design_space import DesignSpace
 from repro.data import QS1
 
-from .common import dataset, pareto_table, write_result
+from common import dataset, pareto_table, write_result
 
 
 def test_table6_reproduction(benchmark):

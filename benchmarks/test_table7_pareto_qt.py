@@ -9,7 +9,7 @@ B=2 repairs it (0.021); adding the tip group reaches 0.000 at 159 LUTs.
 from repro.core.design_space import DesignSpace
 from repro.data import QT
 
-from .common import dataset, pareto_table, write_result
+from common import dataset, pareto_table, write_result
 
 
 def test_table7_reproduction(benchmark):

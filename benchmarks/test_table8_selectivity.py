@@ -9,7 +9,7 @@ from repro.baselines import ExactFilter
 from repro.data import ALL_QUERIES
 from repro.eval.report import render_table
 
-from .common import dataset, write_result
+from common import dataset, write_result
 
 PAPER_SELECTIVITY = {"QS0": 0.639, "QS1": 0.054, "QT": 0.057}
 

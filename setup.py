@@ -1,3 +1,58 @@
-from setuptools import setup
+"""Packaging metadata for the DATE 2022 raw-filtering reproduction."""
 
-setup()
+import os
+import re
+
+from setuptools import find_packages, setup
+
+HERE = os.path.dirname(__file__)
+
+
+def _long_description():
+    path = os.path.join(HERE, "README.md")
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    return ""
+
+
+def _version():
+    """Single source of truth: repro.__version__."""
+    path = os.path.join(HERE, "src", "repro", "__init__.py")
+    with open(path, encoding="utf-8") as handle:
+        match = re.search(
+            r'^__version__ = "([^"]+)"', handle.read(), re.MULTILINE
+        )
+    return match.group(1)
+
+
+setup(
+    name="repro-rawfilter",
+    version=_version(),
+    description=(
+        "Reproduction of 'Raw Filtering of JSON Data on FPGAs' "
+        "(DATE 2022): raw-filter primitives, design-space exploration, "
+        "hardware cost models, SoC simulation and a streaming software "
+        "filter engine"
+    ),
+    long_description=_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Hardware",
+    ],
+)

@@ -4,6 +4,12 @@ This is what a stream processor without raw filtering does: parse every
 record, evaluate the query on the typed values.  It defines ground truth
 for every FPR in the reproduction and models the per-record parse cost
 that raw filtering avoids.
+
+An :class:`ExactFilter` is a valid engine predicate
+(:mod:`repro.engine`): its ``matches`` method serves the engine's
+scalar path and its ``match_array`` the dataset-level path, so oracle
+accuracy comparisons run through the same execution layer as the raw
+filters and the Sparser baseline.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ class ExactFilter:
         """Oracle booleans (uses pre-parsed values when available)."""
         self.records_parsed += len(dataset)
         self.bytes_parsed += dataset.total_bytes
-        return self.query.truth_array(dataset)
+        return np.asarray(self.query.truth_array(dataset), dtype=bool)
 
     def reset_counters(self):
         self.records_parsed = 0

@@ -19,6 +19,13 @@ The crucial limitation the paper contrasts against: Sparser cannot
 express number ranges, so for queries whose selectivity lives in numeric
 predicates (the IoT case) its achievable FPR is bounded by string
 selectivity alone.  The comparison benchmark shows exactly that gap.
+
+Probes and cascades plug into the unified execution layer
+(:mod:`repro.engine`): substring probes lower to raw-filter expressions
+via ``as_raw_filter`` so the engine's vectorised backend evaluates them
+through the same audited harness path as the paper's filters, and every
+``match_array`` here delegates to the engine rather than running a
+private loop.
 """
 
 from __future__ import annotations
@@ -28,6 +35,26 @@ import numpy as np
 from ..errors import QueryError
 
 PROBE_LENGTHS = (2, 4, 8)
+
+
+def _engine_match_array(predicate, dataset):
+    """Evaluate a probe through the shared engine.
+
+    Lowering to a raw-filter expression first (when the probe supports
+    it) hands the engine a plain expression, which its vectorised
+    backend evaluates through the harness; probes without an expression
+    form run on the engine's scalar reference path.
+    """
+    from ..engine import (
+        default_engine,
+        resolve_expression,
+        scalar_match_bits,
+    )
+
+    expr = resolve_expression(predicate)
+    if expr is not None:
+        return default_engine().match_bits(expr, dataset)
+    return scalar_match_bits(predicate, dataset)
 
 
 class SubstringProbe:
@@ -45,12 +72,20 @@ class SubstringProbe:
     def matches(self, record):
         return self.needle in record
 
+    def as_raw_filter(self):
+        """Engine hook: a probe is a full-length string comparison."""
+        from ..core import composition as comp
+        from ..errors import ReproError
+
+        try:
+            return comp.full(self.needle)
+        except ReproError as err:
+            # e.g. needles containing record separators have no
+            # expression form; the engine falls back to matches()
+            raise NotImplementedError(str(err)) from err
+
     def match_array(self, dataset):
-        return np.fromiter(
-            (self.needle in record for record in dataset),
-            dtype=bool,
-            count=len(dataset),
-        )
+        return _engine_match_array(self, dataset)
 
     def cost(self):
         """Relative evaluation cost (longer probes cost a little more)."""
@@ -86,11 +121,9 @@ class KeyValueProbe:
             start = key_at + 1
 
     def match_array(self, dataset):
-        return np.fromiter(
-            (self.matches(record) for record in dataset),
-            dtype=bool,
-            count=len(dataset),
-        )
+        # no raw-filter lowering (the byte-window constraint has no
+        # expression-tree equivalent), so the engine runs this scalar
+        return _engine_match_array(self, dataset)
 
     def cost(self):
         return 2.0
@@ -125,11 +158,26 @@ class Cascade:
     def matches(self, record):
         return all(probe.matches(record) for probe in self.probes)
 
-    def match_array(self, dataset):
-        result = np.ones(len(dataset), dtype=bool)
+    def as_raw_filter(self):
+        """Engine hook: an AND over the probes' expression forms."""
+        from ..core import composition as comp
+
+        if not self.probes:
+            raise NotImplementedError("empty cascade accepts everything")
+        children = []
         for probe in self.probes:
-            result &= probe.match_array(dataset)
-        return result
+            converter = getattr(probe, "as_raw_filter", None)
+            if converter is None:
+                raise NotImplementedError(
+                    f"{probe!r} has no raw-filter form"
+                )
+            children.append(converter())
+        if len(children) == 1:
+            return children[0]
+        return comp.And(children)
+
+    def match_array(self, dataset):
+        return _engine_match_array(self, dataset)
 
     def cost(self):
         return sum(probe.cost() for probe in self.probes)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Four subcommands cover the library's main workflows:
+Five subcommands cover the library's main workflows:
 
 * ``generate`` — write one of the synthetic benchmark datasets as NDJSON;
 * ``explore``  — run design-space exploration for a RiotBench query and
@@ -8,7 +8,12 @@ Four subcommands cover the library's main workflows:
 * ``synth``    — synthesise a raw-filter expression and report LUT/FF
   costs (expression given in a compact prefix syntax, see below);
 * ``filter``   — apply a raw filter to an NDJSON stream, emitting only
-  accepted records (the software twin of one FPGA lane).
+  accepted records (the software twin of one FPGA lane).  The stream is
+  chunked through the unified :class:`repro.engine.FilterEngine`, so
+  corpora far larger than memory filter in bounded space; backend,
+  chunk size and worker count are selectable;
+* ``bench``    — measure software filtering throughput of the engine
+  backends over a generated corpus.
 
 Filter expressions use a small s-expression-free syntax::
 
@@ -26,11 +31,14 @@ Example::
 from __future__ import annotations
 
 import argparse
+import io
 import sys
+import time
 
 from . import core
 from .core.design_space import DesignSpace
-from .data import ALL_QUERIES, load_dataset
+from .data import ALL_QUERIES, inflate, load_dataset
+from .engine import DEFAULT_CHUNK_BYTES, FilterEngine
 from .errors import QueryError, ReproError
 from .eval.report import render_table
 
@@ -189,22 +197,32 @@ def cmd_synth(args):
     return 0
 
 
+def _engine_from_args(args):
+    return FilterEngine(
+        backend=args.backend,
+        chunk_bytes=args.chunk_bytes,
+        num_workers=args.workers,
+    )
+
+
 def cmd_filter(args):
     expr = parse_filter_expression(args.expression)
+    engine = _engine_from_args(args)
     source = sys.stdin.buffer if args.input == "-" else open(
         args.input, "rb"
     )
     accepted = 0
     total = 0
+    out = sys.stdout.buffer
     try:
-        for line in source:
-            record = line.rstrip(b"\n")
-            if not record:
-                continue
-            total += 1
-            if core.evaluate_record(expr, record):
-                accepted += 1
-                sys.stdout.buffer.write(record + b"\n")
+        for batch in engine.stream_file(expr, source):
+            emitted = batch.accepted
+            for record in emitted:
+                out.write(record + b"\n")
+            if emitted:
+                out.flush()  # emit promptly when fed by a live pipe
+            accepted = batch.accepted_seen
+            total = batch.records_seen
     finally:
         if source is not sys.stdin.buffer:
             source.close()
@@ -213,6 +231,47 @@ def cmd_filter(args):
         f"({expr.notation()})",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_bench(args):
+    expr = parse_filter_expression(args.expression)
+    dataset = load_dataset(args.dataset, args.records, seed=args.seed)
+    if args.inflate_bytes:
+        dataset = inflate(dataset, args.inflate_bytes)
+    ndjson = dataset.stream.tobytes()
+    payload = len(ndjson)
+    backends = args.backends.split(",")
+    engine = FilterEngine(
+        chunk_bytes=args.chunk_bytes, num_workers=args.workers
+    )
+    rows = []
+    for backend in backends:
+        start = time.perf_counter()
+        accepted = records = 0
+        for batch in engine.stream_file(
+            expr, io.BytesIO(ndjson), backend=backend.strip()
+        ):
+            accepted = batch.accepted_seen
+            records = batch.records_seen
+        elapsed = time.perf_counter() - start
+        rate = payload / elapsed if elapsed > 0 else float("inf")
+        rows.append([
+            backend.strip(),
+            f"{records}",
+            f"{accepted}",
+            f"{elapsed:.3f}",
+            f"{rate / 1e6:.1f}",
+        ])
+    print(render_table(
+        ["Backend", "Records", "Accepted", "Seconds", "MB/s"],
+        rows,
+        title=(
+            f"Streaming throughput over {payload} bytes of "
+            f"{dataset.name} — {expr.notation()} "
+            f"(chunk={args.chunk_bytes}, workers={args.workers})"
+        ),
+    ))
     return 0
 
 
@@ -252,8 +311,42 @@ def build_arg_parser():
     )
     filter_cmd.add_argument("expression")
     filter_cmd.add_argument("--input", "-i", default="-")
+    _add_engine_arguments(filter_cmd)
     filter_cmd.set_defaults(func=cmd_filter)
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure streaming filter throughput per engine backend",
+    )
+    bench.add_argument("expression")
+    bench.add_argument("--dataset", default="smartcity",
+                       choices=["smartcity", "taxi", "twitter"])
+    bench.add_argument("--records", type=int, default=5000)
+    bench.add_argument("--seed", type=int, default=None)
+    bench.add_argument("--inflate-bytes", type=int, default=0,
+                       help="repeat records up to this stream size")
+    bench.add_argument("--backends", default="vectorized,scalar",
+                       help="comma-separated backend names to compare")
+    _add_engine_arguments(bench, with_backend=False)
+    bench.set_defaults(func=cmd_bench)
     return parser
+
+
+def _add_engine_arguments(parser, with_backend=True):
+    if with_backend:
+        parser.add_argument(
+            "--backend", default="vectorized",
+            choices=["vectorized", "scalar", "auto"],
+            help="engine evaluation backend",
+        )
+    parser.add_argument(
+        "--chunk-bytes", type=int, default=DEFAULT_CHUNK_BYTES,
+        help="streaming chunk size (bounds resident memory)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="shard chunks across this many worker processes",
+    )
 
 
 def main(argv=None):

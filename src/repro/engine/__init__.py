@@ -1,0 +1,58 @@
+"""Unified streaming filter-execution layer.
+
+Every consumer in the repo — the Fig. 4 SoC simulation, the CLI's
+``filter``/``bench`` commands, the Sparser/exact baselines and the eval
+harness — obtains per-record match bits from one
+:class:`FilterEngine`, with pluggable backends:
+
+* ``vectorized`` — dataset-scale numpy evaluation
+  (:mod:`repro.eval.harness`), the production path;
+* ``scalar`` — per-record behavioural evaluation
+  (:func:`repro.core.composition.evaluate_record`), the reference
+  oracle the vectorised path is cross-checked against.
+
+The engine also executes **chunked streams**: an iterator of byte
+chunks is reframed into records across chunk seams
+(:class:`repro.engine.framing.RecordFramer`), each framed chunk is
+evaluated with the configured backend in bounded memory, and chunks can
+be sharded across ``num_workers`` processes for multi-core throughput.
+"""
+
+from .backends import (
+    BACKENDS,
+    Backend,
+    ScalarBackend,
+    VectorizedBackend,
+    as_dataset,
+    record_matcher,
+    resolve_backend,
+    resolve_expression,
+)
+from .engine import (
+    DEFAULT_CHUNK_BYTES,
+    EngineConfig,
+    FilterEngine,
+    StreamBatch,
+    default_engine,
+    scalar_match_bits,
+)
+from .framing import RecordFramer, iter_file_chunks
+
+__all__ = [
+    "BACKENDS",
+    "Backend",
+    "ScalarBackend",
+    "VectorizedBackend",
+    "as_dataset",
+    "record_matcher",
+    "resolve_backend",
+    "resolve_expression",
+    "DEFAULT_CHUNK_BYTES",
+    "EngineConfig",
+    "FilterEngine",
+    "StreamBatch",
+    "default_engine",
+    "scalar_match_bits",
+    "RecordFramer",
+    "iter_file_chunks",
+]

@@ -1,0 +1,289 @@
+"""The unified filter-execution layer.
+
+:class:`FilterEngine` is the single evaluation entry point for the whole
+repo: the SoC simulation, the CLI, the baselines and the eval harness
+all obtain per-record match bits from it.  One engine instance is
+expression-agnostic — the predicate is an argument of each call — so a
+single engine can be shared across streams, lanes and queries.
+
+Two execution shapes:
+
+* :meth:`match_bits` — evaluate a whole in-memory corpus at once
+  (delegating to the configured backend);
+* :meth:`stream` — consume an iterator of byte chunks in bounded
+  memory, reframe records across chunk seams, evaluate chunk by chunk
+  and yield :class:`StreamBatch` results; with ``num_workers > 1`` the
+  framed chunks are sharded across worker processes while preserving
+  record order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+
+from ..errors import ReproError
+from .backends import ScalarBackend, as_dataset, resolve_backend
+from .framing import RecordFramer, iter_file_chunks
+
+DEFAULT_CHUNK_BYTES = 1 << 20
+
+
+class EngineConfig:
+    """Execution parameters of a :class:`FilterEngine`."""
+
+    def __init__(self, backend="vectorized",
+                 chunk_bytes=DEFAULT_CHUNK_BYTES, num_workers=1):
+        if chunk_bytes <= 0:
+            raise ReproError("chunk_bytes must be positive")
+        if num_workers <= 0:
+            raise ReproError("num_workers must be positive")
+        self.backend = backend
+        self.chunk_bytes = chunk_bytes
+        self.num_workers = num_workers
+
+    def __repr__(self):
+        return (
+            f"EngineConfig(backend={self.backend!r}, "
+            f"chunk_bytes={self.chunk_bytes}, "
+            f"num_workers={self.num_workers})"
+        )
+
+
+class StreamBatch:
+    """Match results for one framed chunk of a stream."""
+
+    __slots__ = ("index", "records", "matches",
+                 "records_seen", "bytes_seen", "accepted_seen")
+
+    def __init__(self, index, records, matches,
+                 records_seen, bytes_seen, accepted_seen):
+        self.index = index
+        self.records = records
+        self.matches = matches
+        #: cumulative totals up to and including this batch
+        self.records_seen = records_seen
+        self.bytes_seen = bytes_seen
+        self.accepted_seen = accepted_seen
+
+    @property
+    def accepted(self):
+        """The accepted records of this batch, in input order."""
+        return [
+            record
+            for record, match in zip(self.records, self.matches)
+            if match
+        ]
+
+    def __len__(self):
+        return len(self.records)
+
+    def __repr__(self):
+        return (
+            f"StreamBatch(#{self.index}, records={len(self.records)}, "
+            f"accepted={int(np.count_nonzero(self.matches))})"
+        )
+
+
+# -- multiprocessing plumbing -------------------------------------------------
+#
+# Workers are initialised once with the pickled (predicate, backend name)
+# pair and then receive plain record lists, so per-chunk IPC carries only
+# payload bytes.  Module-level state keeps the task function picklable
+# under both fork and spawn start methods.
+
+_WORKER_STATE = {}
+
+
+def _worker_init(payload, backend_name):
+    _WORKER_STATE["predicate"] = pickle.loads(payload)
+    _WORKER_STATE["backend"] = resolve_backend(backend_name)
+
+
+def _worker_match_bits(records):
+    backend = _WORKER_STATE["backend"]
+    bits = backend.match_bits(_WORKER_STATE["predicate"], records)
+    return np.packbits(bits), len(records)
+
+
+def _unpack_bits(packed, count):
+    return np.unpackbits(packed, count=count).astype(bool)
+
+
+class FilterEngine:
+    """One execution layer, pluggable backends, streaming or batch."""
+
+    def __init__(self, backend="vectorized",
+                 chunk_bytes=DEFAULT_CHUNK_BYTES, num_workers=1,
+                 config=None):
+        if config is None:
+            config = EngineConfig(backend, chunk_bytes, num_workers)
+        self.config = config
+        self._backends = {}
+
+    # -- backend handling ---------------------------------------------------
+
+    def backend(self, override=None):
+        """The configured backend instance (or a per-call override)."""
+        name = override if override is not None else self.config.backend
+        if not isinstance(name, str):
+            return resolve_backend(name)  # instances pass through
+        if name not in self._backends:
+            self._backends[name] = resolve_backend(name)
+        return self._backends[name]
+
+    # -- whole-corpus evaluation --------------------------------------------
+
+    def match_bits(self, predicate, records, backend=None):
+        """Per-record accept bits for an in-memory record batch."""
+        return self.backend(backend).match_bits(predicate, records)
+
+    def matches_record(self, predicate, record):
+        """Single-record accept (always the scalar reference path)."""
+        backend = self.backend("scalar")
+        return bool(backend.match_bits(predicate, [record])[0])
+
+    def count_accepted(self, predicate, records, backend=None):
+        return int(
+            np.count_nonzero(self.match_bits(predicate, records, backend))
+        )
+
+    # -- chunked streaming --------------------------------------------------
+
+    def stream(self, predicate, chunks, backend=None):
+        """Yield :class:`StreamBatch` per framed chunk, bounded memory.
+
+        ``chunks`` is any iterable of bytes-like objects.  Records
+        straddling chunk seams are reassembled by :class:`RecordFramer`;
+        a missing trailing newline still yields the final record.  With
+        ``num_workers > 1`` framed chunks are evaluated in worker
+        processes (at most ``2 * num_workers`` chunks in flight), and
+        batches are yielded strictly in input order either way.
+        """
+        if self.config.num_workers > 1:
+            worker_payload = self._picklable_payload(predicate)
+            if worker_payload is not None:
+                yield from self._stream_parallel(
+                    predicate, chunks, backend, worker_payload
+                )
+                return
+        yield from self._stream_serial(predicate, chunks, backend)
+
+    def stream_file(self, predicate, handle, backend=None):
+        """Stream a binary file object through the engine."""
+        chunks = iter_file_chunks(handle, self.config.chunk_bytes)
+        return self.stream(predicate, chunks, backend=backend)
+
+    def _framed(self, chunks):
+        framer = RecordFramer()
+        for chunk in chunks:
+            records = framer.push(chunk)
+            if records:
+                yield records, framer
+        records = framer.flush()
+        if records:
+            yield records, framer
+
+    def _stream_serial(self, predicate, chunks, backend):
+        chosen = self.backend(backend)
+        index = 0
+        records_seen = bytes_seen = accepted_seen = 0
+        for records, framer in self._framed(chunks):
+            matches = chosen.match_bits(predicate, records)
+            records_seen += len(records)
+            accepted_seen += int(np.count_nonzero(matches))
+            bytes_seen = framer.bytes_consumed - framer.pending_bytes
+            yield StreamBatch(index, records, matches,
+                             records_seen, bytes_seen, accepted_seen)
+            index += 1
+
+    def _picklable_payload(self, predicate):
+        try:
+            return pickle.dumps(predicate)
+        except Exception:
+            return None
+
+    def _stream_parallel(self, predicate, chunks, backend, payload):
+        backend_name = backend if backend is not None else (
+            self.config.backend
+        )
+        if not isinstance(backend_name, str):
+            # backend instances cannot be shipped to workers reliably
+            yield from self._stream_serial(predicate, chunks, backend)
+            return
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context("spawn")
+        max_in_flight = 2 * self.config.num_workers
+        pool = context.Pool(
+            processes=self.config.num_workers,
+            initializer=_worker_init,
+            initargs=(payload, backend_name),
+        )
+        try:
+            pending = []  # (records, framer_snapshot, async_result)
+            index = 0
+            records_seen = bytes_seen = accepted_seen = 0
+
+            def drain_one():
+                nonlocal index, records_seen, bytes_seen, accepted_seen
+                records, consumed_bytes, result = pending.pop(0)
+                packed, count = result.get()
+                matches = _unpack_bits(packed, count)
+                records_seen += count
+                accepted_seen += int(np.count_nonzero(matches))
+                bytes_seen = consumed_bytes
+                batch = StreamBatch(index, records, matches,
+                                    records_seen, bytes_seen,
+                                    accepted_seen)
+                index += 1
+                return batch
+
+            for records, framer in self._framed(chunks):
+                consumed = framer.bytes_consumed - framer.pending_bytes
+                pending.append((
+                    records,
+                    consumed,
+                    pool.apply_async(_worker_match_bits, (records,)),
+                ))
+                while len(pending) >= max_in_flight:
+                    yield drain_one()
+            while pending:
+                yield drain_one()
+        finally:
+            pool.terminate()
+            pool.join()
+
+    # -- convenience --------------------------------------------------------
+
+    def filter_stream(self, predicate, chunks, backend=None):
+        """Yield only the accepted records of a chunked stream."""
+        for batch in self.stream(predicate, chunks, backend=backend):
+            yield from batch.accepted
+
+    def evaluate_dataset(self, predicate, dataset, backend=None):
+        """Alias of :meth:`match_bits` for Dataset inputs (readability)."""
+        return self.match_bits(predicate, as_dataset(dataset), backend)
+
+    def __repr__(self):
+        return f"FilterEngine({self.config!r})"
+
+
+#: process-wide default engine (vectorised, serial) for light callers
+_DEFAULT_ENGINE = None
+
+
+def default_engine():
+    """The lazily created shared engine used by module-level helpers."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = FilterEngine()
+    return _DEFAULT_ENGINE
+
+
+def scalar_match_bits(predicate, records):
+    """Shared scalar-path helper (used by baselines' match arrays)."""
+    return ScalarBackend().match_bits(predicate, records)

@@ -1,0 +1,101 @@
+"""Record framing for chunked byte streams.
+
+The FPGA splitter keys on newline boundaries to distribute records to
+lanes; the software engine needs the same property when a corpus arrives
+as arbitrary byte chunks (file reads, socket buffers, generators).  A
+:class:`RecordFramer` carries the partial record at each chunk seam so
+that records straddling chunk boundaries are reassembled exactly once,
+in order, in O(chunk) memory.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class RecordFramer:
+    """Incrementally split a byte stream into newline-delimited records.
+
+    ``push`` accepts one chunk and returns the records completed by it;
+    ``flush`` returns the final unterminated record (a stream without a
+    trailing newline still yields its last record).  Blank lines are
+    skipped, and a ``\\r`` before the newline is stripped, matching
+    :meth:`repro.data.Dataset.from_ndjson`.
+    """
+
+    def __init__(self, max_record_bytes=64 * 1024 * 1024):
+        self._tail = b""
+        self.max_record_bytes = max_record_bytes
+        #: total payload bytes consumed (including newlines)
+        self.bytes_consumed = 0
+        #: records emitted so far
+        self.records_emitted = 0
+
+    def push(self, chunk):
+        """Consume one chunk; return the list of completed records."""
+        if not isinstance(chunk, (bytes, bytearray, memoryview)):
+            raise ReproError(
+                f"framer expects bytes-like chunks, got {type(chunk)!r}"
+            )
+        chunk = bytes(chunk)
+        self.bytes_consumed += len(chunk)
+        if not chunk:
+            return []
+        data = self._tail + chunk
+        if b"\n" not in chunk:
+            if len(data) > self.max_record_bytes:
+                raise ReproError(
+                    "record exceeds max_record_bytes "
+                    f"({self.max_record_bytes}) without a newline"
+                )
+            self._tail = data
+            return []
+        lines = data.split(b"\n")
+        self._tail = lines.pop()
+        records = [
+            line[:-1] if line.endswith(b"\r") else line
+            for line in lines
+            if line.strip()
+        ]
+        self.records_emitted += len(records)
+        return records
+
+    def flush(self):
+        """Return the trailing unterminated record, if any, and reset."""
+        tail, self._tail = self._tail, b""
+        if tail.endswith(b"\r"):
+            tail = tail[:-1]
+        if not tail.strip():
+            return []
+        self.records_emitted += 1
+        return [tail]
+
+    @property
+    def pending_bytes(self):
+        """Bytes buffered awaiting their newline (seam carry-over)."""
+        return len(self._tail)
+
+
+def iter_file_chunks(handle, chunk_bytes):
+    """Yield chunks of at most ``chunk_bytes`` from a binary handle.
+
+    Seekable handles (regular files) are read in full chunks for
+    maximum vectorisation width.  Non-seekable handles (pipes,
+    sockets, ``tail -f``-style producers) use ``read1`` when available
+    so that whatever bytes have arrived are processed immediately
+    instead of blocking until a full chunk accumulates.
+    """
+    if chunk_bytes <= 0:
+        raise ReproError("chunk_bytes must be positive")
+    read = handle.read
+    try:
+        seekable = handle.seekable()
+    except (AttributeError, OSError):
+        seekable = False
+    if not seekable and hasattr(handle, "read1"):
+        read = handle.read1
+    while True:
+        chunk = read(chunk_bytes)
+        if not chunk:
+            return
+        yield chunk

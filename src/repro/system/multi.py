@@ -17,6 +17,7 @@ Two facilities model that:
 from __future__ import annotations
 
 from ..core.cost import exact_luts
+from ..engine import FilterEngine
 from ..errors import ReproError
 from .soc import RawFilterSoC, SoCConfig
 
@@ -40,15 +41,19 @@ class MultiStreamSoC:
     Each stream gets a dedicated lane group (the paper's lanes are
     independent, so this is a static partition of the 7 lanes) and its
     own DMA channel; streams run concurrently and report individually.
+    All streams share one :class:`FilterEngine` — the engine is
+    expression-agnostic, so its backend caches and configuration are
+    reused across every stream's filter.
     """
 
-    def __init__(self, assignments, clock_hz=200_000_000):
+    def __init__(self, assignments, clock_hz=200_000_000, engine=None):
         total = sum(a.lanes for a in assignments)
         if not assignments:
             raise ReproError("need at least one stream")
         self.assignments = list(assignments)
         self.clock_hz = clock_hz
         self.total_lanes = total
+        self.engine = engine or FilterEngine()
 
     def run(self, datasets, functional=True):
         """Run every stream; ``datasets`` maps stream name -> Dataset.
@@ -65,6 +70,7 @@ class MultiStreamSoC:
                 SoCConfig(
                     num_lanes=assignment.lanes, clock_hz=self.clock_hz
                 ),
+                engine=self.engine,
             )
             reports[assignment.name] = soc.run(
                 datasets[assignment.name], functional=functional
@@ -100,9 +106,12 @@ def reconfiguration_seconds(expr, spare_factor=1.5):
 class ReconfigurableSoC:
     """A single-stream SoC whose raw filter can be swapped at run time."""
 
-    def __init__(self, expr, config=None):
+    def __init__(self, expr, config=None, engine=None):
         self.config = config or SoCConfig()
         self.expr = expr
+        #: kept across reconfigurations — swapping the filter does not
+        #: discard the execution layer
+        self.engine = engine or FilterEngine()
         self.reconfigurations = 0
         self.reconfiguration_time = 0.0
 
@@ -115,7 +124,7 @@ class ReconfigurableSoC:
         return downtime
 
     def run(self, dataset, functional=True):
-        soc = RawFilterSoC(self.expr, self.config)
+        soc = RawFilterSoC(self.expr, self.config, engine=self.engine)
         return soc.run(dataset, functional=functional)
 
     def amortized_bandwidth(self, report):

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import FilterEngine
 from ..errors import ReproError
-from ..eval.harness import DatasetView, evaluate_expression
 from .dma import DMAConfig, DMAEngine
 from .pipeline import FilterLane
 
@@ -88,11 +88,13 @@ class ThroughputReport:
 class RawFilterSoC:
     """The complete Fig. 4 system: DMA + N parallel raw-filter lanes."""
 
-    def __init__(self, expr, config=None):
+    def __init__(self, expr, config=None, engine=None):
         self.expr = expr
         self.config = config or SoCConfig()
+        #: the shared execution layer producing functional match bits
+        self.engine = engine or FilterEngine()
         self.lanes = [
-            FilterLane(expr, lane_id=i)
+            FilterLane(expr, lane_id=i, engine=self.engine)
             for i in range(self.config.num_lanes)
         ]
 
@@ -110,8 +112,8 @@ class RawFilterSoC:
         Args:
             dataset: the (inflated) record corpus.
             precomputed_matches: optional per-record accept bits; when
-                absent and ``functional`` is true they are computed with
-                the vectorised harness (identical to the lanes' logic).
+                absent and ``functional`` is true they are computed by
+                the shared engine (identical to the lanes' logic).
             functional: evaluate match bits at all (disable for pure
                 timing runs on very large corpora).
         """
@@ -119,8 +121,7 @@ class RawFilterSoC:
         dma = config.dma
         matches = precomputed_matches
         if matches is None and functional:
-            view = DatasetView(dataset)
-            matches = evaluate_expression(view, self.expr)
+            matches = self.engine.match_bits(self.expr, dataset)
 
         assignments = self._partition(dataset)
         per_lane_bytes = [
