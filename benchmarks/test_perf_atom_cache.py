@@ -1,0 +1,109 @@
+"""AtomCache speedup on repeated design-space sweeps.
+
+The acceptance bar for the shared cache: exploring a query that shares
+at least half of its atoms with a previously explored query must run at
+least 2x faster through a cached engine than through a cache-free one —
+with bit-identical results (the differential suite in
+``tests/test_atom_cache.py`` locks the identity; this benchmark locks
+the speedup).
+
+Protocol fairness: the process-wide LUT-cost memo (``repro.core.cost``)
+is warmed for *both* scenarios before any timing, so the comparison
+isolates phase-1 atom evaluation — the work the AtomCache actually
+amortises — from one-time circuit synthesis.
+"""
+
+import time
+
+from common import write_result
+from repro.core.design_space import DesignSpace
+from repro.data import load_dataset
+from repro.data.riotbench import Query, RangeCondition
+from repro.engine import FilterEngine
+from repro.eval.report import render_table
+
+NUM_RECORDS = 3000
+TIMING_ROUNDS = 3
+
+_CONDITIONS = {
+    "temperature": RangeCondition("temperature", "0.7", "35.1"),
+    "humidity": RangeCondition("humidity", "20.3", "69.1"),
+    "light": RangeCondition("light", 0, 5153),
+    "dust": RangeCondition("dust", "83.36", "3322.67"),
+}
+
+#: first sweep: temperature + humidity + light
+QUERY_A = Query(
+    "perfA", "smartcity", "senml",
+    [_CONDITIONS["temperature"], _CONDITIONS["humidity"],
+     _CONDITIONS["light"]],
+    0.5,
+)
+#: follow-up sweep sharing 2 of 3 conditions (>= 50% of atoms)
+QUERY_B = Query(
+    "perfB", "smartcity", "senml",
+    [_CONDITIONS["humidity"], _CONDITIONS["light"],
+     _CONDITIONS["dust"]],
+    0.5,
+)
+
+
+def _timed_explore(dataset, engine):
+    space = DesignSpace(QUERY_B, dataset, engine=engine)
+    start = time.perf_counter()
+    points = space.explore()
+    return time.perf_counter() - start, points
+
+
+def test_cached_repeat_sweep_at_least_2x_faster():
+    dataset = load_dataset("smartcity", NUM_RECORDS)
+
+    # warm process-wide state (LUT-cost memo, gram sets, parsed oracle)
+    # for both queries so neither scenario pays one-time synthesis
+    DesignSpace(QUERY_A, dataset, engine=FilterEngine()).explore()
+    DesignSpace(QUERY_B, dataset, engine=FilterEngine()).explore()
+
+    cold_seconds = min(
+        _timed_explore(dataset, FilterEngine())[0]
+        for _ in range(TIMING_ROUNDS)
+    )
+    cold_points = _timed_explore(dataset, FilterEngine())[1]
+
+    warm_seconds = float("inf")
+    warm_points = None
+    warm_stats = None
+    for _ in range(TIMING_ROUNDS):
+        engine = FilterEngine(cache=True)
+        DesignSpace(QUERY_A, dataset, engine=engine).explore()
+        elapsed, warm_points = _timed_explore(dataset, engine)
+        warm_seconds = min(warm_seconds, elapsed)
+        warm_stats = engine.stats()["cache"]
+
+    speedup = cold_seconds / warm_seconds
+    table = render_table(
+        ["Scenario", "Explore seconds", "Speedup"],
+        [
+            ["cache-free", f"{cold_seconds:.3f}", "1.0x"],
+            ["AtomCache, warmed by sibling query",
+             f"{warm_seconds:.3f}", f"{speedup:.1f}x"],
+        ],
+        title=(
+            f"Design-space re-sweep over {NUM_RECORDS} records "
+            f"({QUERY_B.name} shares 2/3 conditions with "
+            f"{QUERY_A.name}; cache hit rate "
+            f"{warm_stats['hit_rate']:.0%})"
+        ),
+    )
+    write_result("perf_atom_cache", table)
+
+    # identical results, then the acceptance bar
+    assert [
+        (p.choice, p.fpr, p.luts, p.num_attributes) for p in warm_points
+    ] == [
+        (p.choice, p.fpr, p.luts, p.num_attributes) for p in cold_points
+    ]
+    assert warm_stats["hits"] > 0
+    assert speedup >= 2.0, (
+        f"cached re-sweep only {speedup:.2f}x faster "
+        f"({warm_seconds:.3f}s vs {cold_seconds:.3f}s)"
+    )

@@ -243,35 +243,53 @@ def cmd_bench(args):
     payload = len(ndjson)
     backends = args.backends.split(",")
     engine = FilterEngine(
-        chunk_bytes=args.chunk_bytes, num_workers=args.workers
+        chunk_bytes=args.chunk_bytes, num_workers=args.workers,
+        cache=args.cache,
     )
     rows = []
     for backend in backends:
-        start = time.perf_counter()
-        accepted = records = 0
-        for batch in engine.stream_file(
-            expr, io.BytesIO(ndjson), backend=backend.strip()
-        ):
-            accepted = batch.accepted_seen
-            records = batch.records_seen
-        elapsed = time.perf_counter() - start
-        rate = payload / elapsed if elapsed > 0 else float("inf")
-        rows.append([
-            backend.strip(),
-            f"{records}",
-            f"{accepted}",
-            f"{elapsed:.3f}",
-            f"{rate / 1e6:.1f}",
-        ])
+        for repeat in range(args.repeat):
+            start = time.perf_counter()
+            accepted = records = 0
+            for batch in engine.stream_file(
+                expr, io.BytesIO(ndjson), backend=backend.strip()
+            ):
+                accepted = batch.accepted_seen
+                records = batch.records_seen
+            elapsed = time.perf_counter() - start
+            rate = payload / elapsed if elapsed > 0 else float("inf")
+            label = backend.strip()
+            if args.repeat > 1:
+                label += f" (pass {repeat + 1})"
+            rows.append([
+                label,
+                f"{records}",
+                f"{accepted}",
+                f"{elapsed:.3f}",
+                f"{rate / 1e6:.1f}",
+            ])
     print(render_table(
         ["Backend", "Records", "Accepted", "Seconds", "MB/s"],
         rows,
         title=(
             f"Streaming throughput over {payload} bytes of "
             f"{dataset.name} — {expr.notation()} "
-            f"(chunk={args.chunk_bytes}, workers={args.workers})"
+            f"(chunk={args.chunk_bytes}, workers={args.workers}, "
+            f"cache={'on' if args.cache else 'off'})"
         ),
     ))
+    cache_stats = engine.stats()["cache"]
+    if cache_stats is not None:
+        print(
+            "atom cache: "
+            f"{cache_stats['hits']} hits / "
+            f"{cache_stats['misses']} misses "
+            f"(hit rate {cache_stats['hit_rate']:.1%}), "
+            f"{cache_stats['entries']} entries, "
+            f"{cache_stats['bytes']} bytes, "
+            f"{cache_stats['evictions']} evictions",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -327,6 +345,16 @@ def build_arg_parser():
                        help="repeat records up to this stream size")
     bench.add_argument("--backends", default="vectorized,scalar",
                        help="comma-separated backend names to compare")
+    bench.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="memoise per-atom masks in a shared AtomCache "
+             "(--no-cache disables; hit-rate stats are reported)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=1,
+        help="stream the corpus this many times per backend "
+             "(with --cache, warm passes show the cache effect)",
+    )
     _add_engine_arguments(bench, with_backend=False)
     bench.set_defaults(func=cmd_bench)
     return parser

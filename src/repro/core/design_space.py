@@ -22,7 +22,7 @@ import itertools
 
 import numpy as np
 
-from ..eval.harness import DatasetView, evaluate_atoms
+from ..eval.harness import DatasetView
 from ..eval.pareto import DesignPoint, pareto_front
 from . import cost as cost_model
 from .compiler import (
@@ -66,7 +66,7 @@ class DesignSpace:
     """Enumerate and evaluate every raw-filter configuration of a query."""
 
     def __init__(self, query, dataset, blocks=DEFAULT_BLOCKS,
-                 include_string_only=False):
+                 include_string_only=False, engine=None):
         self.query = query
         self.dataset = dataset
         self.blocks = blocks
@@ -78,9 +78,29 @@ class DesignSpace:
             )
             for condition in query.conditions
         ]
-        self.view = DatasetView(dataset)
+        if engine is None:
+            # deferred: repro.core loads before repro.engine can
+            from ..engine import default_engine
+
+            engine = default_engine()
+        #: the shared execution layer running phase-1 atom evaluation;
+        #: with an AtomCache attached, queries sharing atoms over the
+        #: same corpus reuse each other's masks
+        self.engine = engine
         self.truth = query.truth_array(dataset)
         self._option_masks = None
+        self._view = None
+
+    @property
+    def view(self):
+        """Vectorised view of the corpus, shared via the engine's cache."""
+        if self._view is None:
+            cache = getattr(self.engine, "atom_cache", None)
+            if cache is not None:
+                self._view = cache.view_for(self.dataset)
+            else:
+                self._view = DatasetView(self.dataset)
+        return self._view
 
     # -- phase 1 ------------------------------------------------------------
 
@@ -97,7 +117,7 @@ class DesignSpace:
                     if key not in seen:
                         seen.add(key)
                         atoms.append(atom)
-        results = evaluate_atoms(self.view, atoms)
+        results = self.engine.evaluate_atoms(self.dataset, atoms)
         self._option_masks = []
         for condition_opts in self.options:
             masks = []
@@ -160,6 +180,11 @@ class DesignSpace:
                 accepted = mask.copy()
             else:
                 np.bitwise_and(accepted, mask, out=accepted)
+        if accepted is None:
+            # every selected option is omit: the (degenerate) filter
+            # accepts everything, so all negatives pass
+            fpr = 1.0 if self._negative_count else 0.0
+            return fpr, 0, 0
         fp = _popcount(np.bitwise_and(accepted, self._negatives))
         fpr = fp / self._negative_count if self._negative_count else 0.0
         luts = cost_model.estimate_luts(self.choice_atoms(choice))

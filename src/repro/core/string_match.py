@@ -13,6 +13,8 @@ be done afterwards with ``np.logical_or.reduceat``.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from ..errors import ReproError
@@ -43,13 +45,22 @@ def substrings(needle, block):
     return [data[i : i + block] for i in range(len(data) - block + 1)]
 
 
-def unique_substrings(needle, block):
-    """Distinct B-grams (what the hardware actually compares against)."""
+@functools.lru_cache(maxsize=4096)
+def _unique_substrings_cached(needle_bytes, block):
     seen = []
-    for gram in substrings(needle, block):
+    for gram in substrings(needle_bytes, block):
         if gram not in seen:
             seen.append(gram)
-    return seen
+    return tuple(seen)
+
+
+def unique_substrings(needle, block):
+    """Distinct B-grams (what the hardware actually compares against).
+
+    Memoised per (needle, block): streaming evaluation re-derives the
+    gram set for every chunk batch otherwise.
+    """
+    return list(_unique_substrings_cached(as_needle_bytes(needle), block))
 
 
 def resolve_block(needle, block):
@@ -76,7 +87,7 @@ def window_hit_array(arr, needle, block):
     """
     data = as_needle_bytes(needle)
     block = int(block)
-    grams = set(substrings(data, block))
+    grams = _unique_substrings_cached(data, block)
     n = arr.shape[0]
     hit = np.zeros(n, dtype=bool)
     shifted = []

@@ -16,8 +16,16 @@ chunks is reframed into records across chunk seams
 (:class:`repro.engine.framing.RecordFramer`), each framed chunk is
 evaluated with the configured backend in bounded memory, and chunks can
 be sharded across ``num_workers`` processes for multi-core throughput.
+
+``FilterEngine(cache=True)`` attaches a shared
+:class:`~repro.engine.atom_cache.AtomCache`: per-atom match masks and
+per-corpus dataset views are memoised by content fingerprint, so
+design-space queries sharing atoms, re-streamed chunks and reconfigured
+filters reuse previously computed state instead of re-running the
+vectorised sweeps.
 """
 
+from .atom_cache import AtomCache, as_atom_cache, dataset_fingerprint
 from .backends import (
     BACKENDS,
     Backend,
@@ -39,6 +47,9 @@ from .engine import (
 from .framing import RecordFramer, iter_file_chunks
 
 __all__ = [
+    "AtomCache",
+    "as_atom_cache",
+    "dataset_fingerprint",
     "BACKENDS",
     "Backend",
     "ScalarBackend",

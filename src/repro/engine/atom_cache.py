@@ -1,0 +1,285 @@
+"""Shared memoisation of per-atom match masks (the AtomCache).
+
+Phase-1 evaluation is the expensive half of everything this repo does:
+each *atom* (string matcher, number-range DFA, structural group) costs a
+vectorised sweep over the whole byte stream, and the same atoms recur
+constantly — design-space queries share string/value primitives, a
+reconfigurable SoC swaps between filters built from overlapping parts,
+and a re-run benchmark streams the same chunks again.  The
+:class:`AtomCache` amortises that work the way batched PBWT/BWT systems
+amortise prefix-array access: compute each (dataset, atom) result once,
+then serve every later query from the cached mask.
+
+Keys pair a **dataset fingerprint** (a content hash of the concatenated
+record stream) with the atom's :meth:`~repro.core.composition.RawFilter.
+cache_key`, so caching is safe across distinct ``Dataset`` objects with
+equal content and can never alias datasets whose bytes differ.  Entries
+are held in a size-bounded LRU (entry- and byte-capped; the view memo is
+count-capped and reported separately in ``stats()``); cached arrays
+are frozen (non-writeable) so a hit can be handed out without copying.
+
+The cache also memoises :class:`~repro.eval.harness.DatasetView`
+instances per fingerprint — the numeric token matrix and structural
+masks are by far the most expensive per-dataset state, and every atom
+evaluated against the same corpus shares them.
+
+One :class:`AtomCache` hangs off a :class:`~repro.engine.FilterEngine`
+(``FilterEngine(cache=True)``); the engine routes its vectorised
+backend, its streaming path and :class:`repro.core.design_space.
+DesignSpace` phase-1 evaluation through it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from ..errors import ReproError
+from ..eval.harness import DatasetView, evaluate_atom
+from ..eval.harness import evaluate_atoms as harness_evaluate_atoms
+
+#: attribute used to memoise a dataset's fingerprint on the instance
+_FINGERPRINT_ATTR = "_atom_cache_fingerprint"
+
+
+def dataset_fingerprint(dataset):
+    """Content hash of a dataset's concatenated record stream.
+
+    Equal record content gives equal fingerprints regardless of object
+    identity; any byte difference changes the fingerprint, so stale
+    masks can never be served for a changed corpus.  The digest is
+    memoised on the dataset instance (the stream itself is immutable
+    once built).
+    """
+    cached = getattr(dataset, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    stream = dataset.stream
+    digest = hashlib.blake2b(stream.tobytes(), digest_size=16).digest()
+    fingerprint = (int(stream.shape[0]), digest)
+    try:
+        setattr(dataset, _FINGERPRINT_ATTR, fingerprint)
+    except AttributeError:  # slotted/frozen dataset stand-ins
+        pass
+    return fingerprint
+
+
+def _freeze(array):
+    array = np.asarray(array)
+    array.setflags(write=False)
+    return array
+
+
+class AtomCache:
+    """Keyed, size-bounded LRU cache of per-atom evaluation arrays.
+
+    Stores every array the evaluation harness memoises per dataset:
+    record-level atom masks, string-matcher fire positions and
+    token-accept vectors (the needle/DFA-level state the streaming path
+    would otherwise rebuild from scratch for every batch).
+    """
+
+    def __init__(self, max_entries=1024, max_bytes=128 << 20,
+                 max_views=4):
+        if max_entries is not None and max_entries <= 0:
+            raise ReproError("max_entries must be positive (or None)")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ReproError("max_bytes must be positive (or None)")
+        if max_views <= 0:
+            raise ReproError("max_views must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.max_views = max_views
+        self._entries = OrderedDict()  # (fingerprint, key) -> array
+        self._views = OrderedDict()    # fingerprint -> DatasetView
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.inserts = 0
+
+    # -- raw entry access ---------------------------------------------------
+
+    def lookup(self, fingerprint, key):
+        """The cached array for (fingerprint, key), or ``None``; counts."""
+        entry = self._entries.get((fingerprint, key))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((fingerprint, key))
+        self.hits += 1
+        return entry
+
+    def put(self, fingerprint, key, array):
+        """Insert one evaluation array, evicting LRU entries past bounds."""
+        array = _freeze(array)
+        full_key = (fingerprint, key)
+        previous = self._entries.pop(full_key, None)
+        if previous is not None:
+            self._bytes -= previous.nbytes
+        self._entries[full_key] = array
+        self._bytes += array.nbytes
+        self.inserts += 1
+        while self._entries and (
+            (self.max_entries is not None
+             and len(self._entries) > self.max_entries)
+            or (self.max_bytes is not None
+                and self._bytes > self.max_bytes)
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.evictions += 1
+        return array
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, full_key):
+        return full_key in self._entries
+
+    def clear(self):
+        """Drop all entries and memoised views (counters are kept)."""
+        self._entries.clear()
+        self._views.clear()
+        self._bytes = 0
+
+    # -- dataset views ------------------------------------------------------
+
+    def view_for(self, dataset):
+        """The memoised :class:`DatasetView` for a dataset's content.
+
+        Token matrices and structural masks are the heaviest per-dataset
+        state; sharing one view across every query touching the same
+        corpus is what makes repeated design-space sweeps cheap.
+
+        Views are **count-bounded** (``max_views``), not byte-bounded:
+        each memoised view pins its corpus (records, stream, lazily
+        built token matrix).  ``stats()['view_bytes']`` reports the
+        retained footprint; :meth:`clear` releases it.  For very large
+        corpora, prefer a dedicated engine (or clear between runs) over
+        the process-wide default engine.
+        """
+        fingerprint = dataset_fingerprint(dataset)
+        view = self._views.get(fingerprint)
+        if view is None:
+            view = DatasetView(dataset)
+            self._views[fingerprint] = view
+            while len(self._views) > self.max_views:
+                self._views.popitem(last=False)
+        else:
+            self._views.move_to_end(fingerprint)
+        return view
+
+    # -- harness-facing evaluation ------------------------------------------
+
+    def evaluation_cache(self, dataset):
+        """A harness-compatible mapping backed by this shared cache."""
+        return _EvaluationCache(self, dataset_fingerprint(dataset))
+
+    def evaluate_atoms(self, dataset, atoms):
+        """``{atom.cache_key(): mask}`` for many atoms, cache-served."""
+        return harness_evaluate_atoms(
+            self.view_for(dataset), atoms,
+            cache=self.evaluation_cache(dataset),
+        )
+
+    def match_bits(self, expr, dataset):
+        """Per-record accept bits for one expression, cache-served.
+
+        Returns a fresh writable array (the cached master stays frozen).
+        """
+        view = self.view_for(dataset)
+        bits = evaluate_atom(view, expr, self.evaluation_cache(dataset))
+        return np.array(bits, dtype=bool)
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def nbytes(self):
+        return self._bytes
+
+    def view_bytes(self):
+        """Approximate bytes retained by the memoised dataset views
+        (corpus stream + token matrix where already built)."""
+        total = 0
+        for view in self._views.values():
+            total += view.dataset.total_bytes
+            token_view = getattr(view, "_token_view", None)
+            if token_view is not None:
+                total += int(token_view[0].nbytes)
+        return total
+
+    def stats(self):
+        """Counters snapshot: hits/misses/evictions/entries/bytes."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+            "views": len(self._views),
+            "view_bytes": self.view_bytes(),
+        }
+
+    def __repr__(self):
+        stats = self.stats()
+        return (
+            f"AtomCache(entries={stats['entries']}, "
+            f"bytes={stats['bytes']}, hits={stats['hits']}, "
+            f"misses={stats['misses']})"
+        )
+
+
+class _EvaluationCache:
+    """Dict protocol bridging the harness to one shared :class:`AtomCache`.
+
+    The harness treats its cache as a plain mapping.  This adapter
+    checks a per-evaluation local overlay first (intra-expression reuse,
+    and a strong reference so an entry evicted from the shared LRU
+    mid-evaluation cannot disappear under the harness), then the shared
+    store.  Everything written lands in both.
+    """
+
+    __slots__ = ("_shared", "_fingerprint", "_local")
+
+    def __init__(self, shared, fingerprint):
+        self._shared = shared
+        self._fingerprint = fingerprint
+        self._local = {}
+
+    def __contains__(self, key):
+        if key in self._local:
+            return True
+        entry = self._shared.lookup(self._fingerprint, key)
+        if entry is None:
+            return False
+        self._local[key] = entry
+        return True
+
+    def __getitem__(self, key):
+        if key not in self:
+            raise KeyError(key)
+        return self._local[key]
+
+    def __setitem__(self, key, value):
+        self._local[key] = self._shared.put(
+            self._fingerprint, key, value
+        )
+
+
+def as_atom_cache(cache):
+    """Normalise a ``cache`` argument: instance, True (defaults), or off."""
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return AtomCache()
+    if isinstance(cache, AtomCache):
+        return cache
+    raise ReproError(
+        f"cache must be an AtomCache, True or None, got {cache!r}"
+    )

@@ -100,18 +100,30 @@ class ScalarBackend(Backend):
 
 
 class VectorizedBackend(Backend):
-    """Dataset-scale numpy evaluation via the harness."""
+    """Dataset-scale numpy evaluation via the harness.
+
+    With an :class:`~repro.engine.atom_cache.AtomCache` attached
+    (``atom_cache``, normally wired up by the owning ``FilterEngine``),
+    per-atom masks and the per-corpus ``DatasetView`` are memoised by
+    dataset content, so repeated evaluation over the same records —
+    different queries sharing atoms, re-streamed chunks, reconfigured
+    filters — skips the vectorised sweeps entirely.
+    """
 
     name = "vectorized"
 
-    def __init__(self, scalar_fallback=True):
+    def __init__(self, scalar_fallback=True, atom_cache=None):
         self.scalar_fallback = scalar_fallback
+        self.atom_cache = atom_cache
         self._scalar = ScalarBackend()
 
     def match_bits(self, predicate, records):
         expr = resolve_expression(predicate)
         if expr is not None:
-            view = DatasetView(as_dataset(records))
+            dataset = as_dataset(records)
+            if self.atom_cache is not None:
+                return self.atom_cache.match_bits(expr, dataset)
+            view = DatasetView(dataset)
             return np.asarray(
                 evaluate_expression(view, expr), dtype=bool
             )

@@ -25,7 +25,15 @@ import pickle
 import numpy as np
 
 from ..errors import ReproError
-from .backends import ScalarBackend, as_dataset, resolve_backend
+from ..eval import harness
+from .atom_cache import as_atom_cache
+from .backends import (
+    ScalarBackend,
+    VectorizedBackend,
+    as_dataset,
+    resolve_backend,
+    resolve_expression,
+)
 from .framing import RecordFramer, iter_file_chunks
 
 DEFAULT_CHUNK_BYTES = 1 << 20
@@ -117,10 +125,14 @@ class FilterEngine:
 
     def __init__(self, backend="vectorized",
                  chunk_bytes=DEFAULT_CHUNK_BYTES, num_workers=1,
-                 config=None):
+                 config=None, cache=None):
         if config is None:
             config = EngineConfig(backend, chunk_bytes, num_workers)
         self.config = config
+        #: shared AtomCache memoising per-(dataset, atom) masks across
+        #: queries, streams and chunk batches; ``cache=True`` builds a
+        #: default-sized one, ``None``/``False`` disables caching
+        self.atom_cache = as_atom_cache(cache)
         self._backends = {}
 
     # -- backend handling ---------------------------------------------------
@@ -129,10 +141,20 @@ class FilterEngine:
         """The configured backend instance (or a per-call override)."""
         name = override if override is not None else self.config.backend
         if not isinstance(name, str):
-            return resolve_backend(name)  # instances pass through
+            # instances pass through, but still honour this engine's cache
+            return self._attach_cache(resolve_backend(name))
         if name not in self._backends:
-            self._backends[name] = resolve_backend(name)
+            self._backends[name] = self._attach_cache(
+                resolve_backend(name)
+            )
         return self._backends[name]
+
+    def _attach_cache(self, instance):
+        if (self.atom_cache is not None
+                and isinstance(instance, VectorizedBackend)
+                and instance.atom_cache is None):
+            instance.atom_cache = self.atom_cache
+        return instance
 
     # -- whole-corpus evaluation --------------------------------------------
 
@@ -149,6 +171,32 @@ class FilterEngine:
         return int(
             np.count_nonzero(self.match_bits(predicate, records, backend))
         )
+
+    def evaluate_atoms(self, dataset, atoms):
+        """``{atom.cache_key(): per-record mask}`` for many atoms.
+
+        The phase-1 entry point used by design-space exploration: with a
+        cache attached, atoms shared with previously evaluated queries
+        over the same corpus are served from memory, and the expensive
+        :class:`~repro.eval.harness.DatasetView` (token matrix,
+        structural masks) is built once per corpus instead of per query.
+        """
+        dataset = as_dataset(dataset)
+        if self.atom_cache is not None:
+            return self.atom_cache.evaluate_atoms(dataset, atoms)
+        return harness.evaluate_atoms(
+            harness.DatasetView(dataset), atoms
+        )
+
+    def stats(self):
+        """Engine observability: configuration + atom-cache counters."""
+        cache = self.atom_cache
+        return {
+            "backend": self.config.backend,
+            "chunk_bytes": self.config.chunk_bytes,
+            "num_workers": self.config.num_workers,
+            "cache": cache.stats() if cache is not None else None,
+        }
 
     # -- chunked streaming --------------------------------------------------
 
@@ -186,8 +234,24 @@ class FilterEngine:
         if records:
             yield records, framer
 
+    def _stream_target(self, predicate, chosen):
+        """Resolve the predicate once per stream, not once per chunk.
+
+        Vectorised streaming evaluates the same predicate for every
+        framed batch; lowering it to its raw-filter expression up front
+        carries the compiled atom state (number-range DFAs, needle gram
+        sets) across chunk batches instead of re-deriving it per chunk.
+        Predicates without an expression form pass through unchanged.
+        """
+        if isinstance(chosen, VectorizedBackend):
+            expression = resolve_expression(predicate)
+            if expression is not None:
+                return expression
+        return predicate
+
     def _stream_serial(self, predicate, chunks, backend):
         chosen = self.backend(backend)
+        predicate = self._stream_target(predicate, chosen)
         index = 0
         records_seen = bytes_seen = accepted_seen = 0
         for records, framer in self._framed(chunks):
@@ -277,10 +341,15 @@ _DEFAULT_ENGINE = None
 
 
 def default_engine():
-    """The lazily created shared engine used by module-level helpers."""
+    """The lazily created shared engine used by module-level helpers.
+
+    Carries a bounded :class:`~repro.engine.atom_cache.AtomCache`, so
+    independent light callers (design-space exploration in particular)
+    share previously computed atom masks process-wide.
+    """
     global _DEFAULT_ENGINE
     if _DEFAULT_ENGINE is None:
-        _DEFAULT_ENGINE = FilterEngine()
+        _DEFAULT_ENGINE = FilterEngine(cache=True)
     return _DEFAULT_ENGINE
 
 

@@ -220,9 +220,15 @@ def _evaluate_group(view, group, cache):
     return result
 
 
-def evaluate_atoms(view, atoms):
-    """Evaluate many atoms, sharing one cache; returns {cache_key: array}."""
-    cache = {}
+def evaluate_atoms(view, atoms, cache=None):
+    """Evaluate many atoms, sharing one cache; returns {cache_key: array}.
+
+    ``cache`` may be any mapping speaking ``in``/``[]``/``[]=`` — pass a
+    :meth:`repro.engine.atom_cache.AtomCache.evaluation_cache` adapter
+    to serve repeated atoms across calls from the shared store.
+    """
+    if cache is None:
+        cache = {}
     results = {}
     for atom in atoms:
         results[atom.cache_key()] = evaluate_atom(view, atom, cache)

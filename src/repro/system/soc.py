@@ -46,17 +46,37 @@ class ThroughputReport:
     """Outcome of one system run."""
 
     def __init__(self, total_bytes, total_cycles, clock_hz,
-                 theoretical_bandwidth, matches, per_lane_bytes):
+                 theoretical_bandwidth, matches, per_lane_bytes,
+                 host_seconds=None):
         self.total_bytes = total_bytes
         self.total_cycles = total_cycles
         self.clock_hz = clock_hz
         self.theoretical_bandwidth = theoretical_bandwidth
         self.matches = matches
         self.per_lane_bytes = per_lane_bytes
+        #: wall-clock seconds the host CPU spent producing the same
+        #: match bits through the software FilterEngine (the host
+        #: co-processing model — includes AtomCache service, so warm
+        #: repeats are near zero); ``None`` for non-functional runs
+        self.host_seconds = host_seconds
 
     @property
     def seconds(self):
         return self.total_cycles / self.clock_hz
+
+    @property
+    def host_bandwidth(self):
+        """Bytes/s of the software engine run on the host, if measured."""
+        if not self.host_seconds:
+            return None
+        return self.total_bytes / self.host_seconds
+
+    @property
+    def coprocessing_speedup(self):
+        """FPGA-lane speedup over the measured host software path."""
+        if not self.host_seconds or self.seconds == 0:
+            return None
+        return self.host_seconds / self.seconds
 
     @property
     def achieved_bandwidth(self):

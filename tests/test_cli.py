@@ -140,8 +140,33 @@ class TestCommands:
         assert "Pareto front for QT" in out
         assert "FPR" in out
 
+    def test_bench_reports_cache_stats(self, capsys):
+        code = main([
+            "bench", "s:1:temperature",
+            "--records", "60", "--backends", "vectorized",
+            "--repeat", "2",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "cache=on" in captured.out
+        assert "(pass 1)" in captured.out and "(pass 2)" in captured.out
+        assert "atom cache:" in captured.err
+        assert "hit rate" in captured.err
+
+    def test_bench_no_cache(self, capsys):
+        code = main([
+            "bench", "s:1:temperature",
+            "--records", "60", "--backends", "vectorized", "--no-cache",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "cache=off" in captured.out
+        assert "atom cache:" not in captured.err
+
     def test_parser_structure(self):
         parser = build_arg_parser()
         args = parser.parse_args(["generate", "twitter"])
         assert args.command == "generate"
         assert args.records == 1000
+        bench = parser.parse_args(["bench", "s:1:a"])
+        assert bench.cache is True and bench.repeat == 1

@@ -125,6 +125,52 @@ class TestDesignSpace:
                         a.fpr == b.fpr and a.luts == b.luts
                     )
 
+    def test_all_omit_choice_accepts_everything(self, qs0_space):
+        """Regression: an all-omit choice used to crash on
+        ``np.bitwise_and(None, ...)``; it now reports the degenerate
+        accept-everything filter."""
+        all_omit = tuple(
+            next(i for i, o in enumerate(options) if o.is_omit)
+            for options in qs0_space.options
+        )
+        fpr, luts, attributes = qs0_space.evaluate_choice(all_omit)
+        assert fpr == 1.0
+        assert luts == 0
+        assert attributes == 0
+
+    def test_all_omit_zero_negatives(self):
+        """The degenerate choice on an all-positive corpus has FPR 0."""
+        from repro.data import QS0, load_dataset as load
+
+        dataset = load("smartcity", 300)
+        truth = QS0.truth_array(dataset)
+        positives = dataset.subset(np.flatnonzero(truth))
+        space = DesignSpace(QS0, positives)
+        all_omit = tuple(
+            next(i for i, o in enumerate(options) if o.is_omit)
+            for options in space.options
+        )
+        assert space.evaluate_choice(all_omit) == (0.0, 0, 0)
+
+    def test_space_uses_shared_engine(self):
+        from repro.engine import FilterEngine
+
+        dataset = load_dataset("smartcity", 200)
+        engine = FilterEngine(cache=True)
+        space = DesignSpace(QS0, dataset, engine=engine)
+        assert space.engine is engine
+        space.explore(limit=50)
+        assert len(engine.atom_cache) > 0
+        # the lazily built view is the engine cache's shared instance
+        assert space.view is engine.atom_cache.view_for(dataset)
+
+    def test_default_engine_is_process_shared(self):
+        from repro.engine import default_engine
+
+        dataset = load_dataset("smartcity", 120)
+        space = DesignSpace(QS0, dataset)
+        assert space.engine is default_engine()
+
     def test_full_filter_reaches_low_fpr(self):
         dataset = load_dataset("smartcity", 600)
         space = DesignSpace(QS0, dataset)

@@ -305,6 +305,80 @@ class TestStreaming:
         assert matches == expected.tolist()
 
 
+class TestCachedStreamSeams:
+    """Chunk-seam framing with the AtomCache enabled: any random split
+    of the corpus must yield exactly the whole-buffer match bits."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return load_dataset("smartcity", 120, seed=31)
+
+    def _random_chunks(self, rng, payload):
+        cuts = sorted(
+            rng.sample(range(1, len(payload)),
+                       rng.randint(1, min(24, len(payload) - 1)))
+        )
+        bounds = [0] + cuts + [len(payload)]
+        return [
+            payload[start:end]
+            for start, end in zip(bounds, bounds[1:])
+        ]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_splits_match_whole_buffer(self, corpus, seed):
+        rng = random.Random(seed)
+        payload = ndjson_bytes(corpus)
+        engine = FilterEngine(cache=True)
+        for _ in range(6):
+            expr = random_expression(rng)
+            whole = engine.match_bits(expr, corpus)
+            chunks = self._random_chunks(rng, payload)
+            records = []
+            matches = []
+            for batch in engine.stream(expr, chunks):
+                records.extend(batch.records)
+                matches.extend(batch.matches.tolist())
+            assert records == corpus.records, expr.notation()
+            assert matches == whole.tolist(), expr.notation()
+
+    def test_rerun_of_identical_chunks_hits_cache(self, corpus):
+        """Streaming the same chunking twice serves the second pass from
+        the cache — and still yields identical bits."""
+        payload = ndjson_bytes(corpus)
+        chunks = self._random_chunks(random.Random(99), payload)
+        engine = FilterEngine(cache=True)
+        expr = simple_filter()
+        first = [
+            batch.matches.tolist()
+            for batch in engine.stream(expr, chunks)
+        ]
+        misses_cold = engine.atom_cache.misses
+        hits_cold = engine.atom_cache.hits
+        second = [
+            batch.matches.tolist()
+            for batch in engine.stream(expr, chunks)
+        ]
+        assert first == second
+        assert engine.atom_cache.misses == misses_cold
+        assert engine.atom_cache.hits > hits_cold
+
+    def test_cached_and_uncached_streams_agree(self, corpus):
+        payload = ndjson_bytes(corpus)
+        expr = simple_filter()
+        cached = FilterEngine(chunk_bytes=190, cache=True)
+        plain = FilterEngine(chunk_bytes=190)
+        cached_batches = list(
+            cached.stream_file(expr, io.BytesIO(payload))
+        )
+        plain_batches = list(
+            plain.stream_file(expr, io.BytesIO(payload))
+        )
+        assert len(cached_batches) == len(plain_batches)
+        for left, right in zip(cached_batches, plain_batches):
+            assert left.records == right.records
+            assert left.matches.tolist() == right.matches.tolist()
+
+
 class TestParallelStreaming:
     def test_workers_match_serial(self):
         corpus = load_dataset("taxi", 150, seed=11)

@@ -81,6 +81,60 @@ class TestMultiStream:
             MultiStreamSoC([])
 
 
+class TestHostCoprocessing:
+    def test_functional_runs_report_host_timing(self):
+        soc = MultiStreamSoC(
+            [
+                StreamAssignment("city", city_filter(), lanes=4),
+                StreamAssignment("taxi", taxi_filter(), lanes=3),
+            ]
+        )
+        datasets = {
+            "city": load_dataset("smartcity", 300),
+            "taxi": load_dataset("taxi", 300),
+        }
+        reports = soc.run(datasets)
+        for report in reports.values():
+            assert report.host_seconds is not None
+            assert report.host_seconds > 0
+            assert report.host_bandwidth > 0
+        summary = soc.host_coprocessing(reports)
+        assert summary["host_seconds"] == pytest.approx(
+            sum(r.host_seconds for r in reports.values())
+        )
+        assert summary["device_seconds"] == soc.device_seconds(reports)
+        assert summary["device_speedup"] > 0
+        # the default engine carries an AtomCache, surfaced in stats
+        assert summary["engine"]["cache"] is not None
+
+    def test_non_functional_runs_skip_host_timing(self):
+        soc = MultiStreamSoC(
+            [StreamAssignment("city", city_filter(), lanes=7)]
+        )
+        reports = soc.run(
+            {"city": load_dataset("smartcity", 200)}, functional=False
+        )
+        report = reports["city"]
+        assert report.host_seconds is None
+        assert report.host_bandwidth is None
+        assert report.coprocessing_speedup is None
+        assert soc.host_seconds(reports) == 0.0
+
+    def test_repeated_run_hits_shared_cache(self):
+        """Re-running the same streams reuses the engine's atom masks."""
+        soc = MultiStreamSoC(
+            [StreamAssignment("city", city_filter(), lanes=7)]
+        )
+        datasets = {"city": load_dataset("smartcity", 250)}
+        soc.run(datasets)
+        cache = soc.engine.atom_cache
+        misses_cold = cache.misses
+        second = soc.run(datasets)
+        assert cache.misses == misses_cold
+        assert cache.hits > 0
+        assert second["city"].coprocessing_speedup is not None
+
+
 class TestReconfiguration:
     def test_latency_scales_with_filter_size(self):
         small = reconfiguration_seconds(comp.s("dust", 1))
