@@ -6,6 +6,11 @@ Demonstrates the unified execution layer:
   reference oracle);
 * chunked streaming in bounded memory — the corpus is consumed as
   64 KiB chunks, records are reframed across chunk seams;
+* pluggable ingest: the same stream arriving over a local socket
+  through a ``SocketSource`` (with per-source byte accounting);
+* parallel streaming through the shared-memory worker transport, with
+  workers started from a warm AtomCache snapshot and per-worker
+  counters in ``engine.stats()``;
 * the same engine evaluating a Sparser-style baseline cascade, so the
   accuracy comparison runs through one audited code path.
 
@@ -15,11 +20,13 @@ Run with::
 """
 
 import io
+import socket
+import threading
 
 import repro.core.composition as comp
 from repro.baselines import optimize_cascade
 from repro.data import inflate, load_dataset
-from repro.engine import FilterEngine
+from repro.engine import FilterEngine, SocketSource
 
 CHUNK_BYTES = 64 * 1024
 
@@ -46,6 +53,42 @@ def main():
     scalar_bits = engine.match_bits(expr, corpus, backend="scalar")
     print(f"scalar oracle agrees: "
           f"{accepted == int(scalar_bits.sum())}")
+
+    # the same stream arriving over a socket, filtered identically
+    feeder, receiver = socket.socketpair()
+
+    def feed():
+        feeder.sendall(payload)
+        feeder.close()
+
+    thread = threading.Thread(target=feed)
+    thread.start()
+    source = SocketSource(receiver, chunk_bytes=CHUNK_BYTES)
+    socket_accepted = 0
+    for batch in engine.stream(expr, source):
+        socket_accepted = batch.accepted_seen
+    thread.join()
+    receiver.close()
+    print(f"socket ingest: {socket_accepted}/{total} accepted, "
+          f"source saw {source.stats()['bytes_read']} bytes "
+          f"in {source.stats()['chunks_read']} chunks")
+
+    # parallel streaming: shared-memory transport, warm-cache workers
+    warm = FilterEngine(chunk_bytes=CHUNK_BYTES, cache=True)
+    for batch in warm.stream_file(expr, io.BytesIO(payload)):
+        pass  # serial warm pass fills the AtomCache
+    parallel = FilterEngine(
+        chunk_bytes=CHUNK_BYTES, num_workers=2,
+        transport="shared-memory", cache=warm.atom_cache,
+    )
+    parallel_accepted = 0
+    for batch in parallel.stream_file(expr, io.BytesIO(payload)):
+        parallel_accepted = batch.accepted_seen
+    workers = parallel.stats()["workers"]
+    print(f"parallel ({workers['transport']}, warm workers): "
+          f"{parallel_accepted}/{total} accepted, "
+          f"{workers['cache_hits']} worker cache hits / "
+          f"{workers['cache_misses']} misses")
 
     cascade = optimize_cascade(["temperature"], base, max_probes=2)
     sparser_accepted = engine.count_accepted(cascade, corpus)

@@ -31,14 +31,27 @@ Example::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import io
+import os
+import socket
 import sys
+import tempfile
+import threading
 import time
 
 from . import core
 from .core.design_space import DesignSpace
 from .data import ALL_QUERIES, inflate, load_dataset
-from .engine import DEFAULT_CHUNK_BYTES, FilterEngine
+from .engine import (
+    DEFAULT_CHUNK_BYTES,
+    DEFAULT_TRANSPORT,
+    TRANSPORTS,
+    AtomCache,
+    FileSource,
+    FilterEngine,
+    SocketSource,
+)
 from .errors import QueryError, ReproError
 from .eval.report import render_table
 
@@ -197,25 +210,79 @@ def cmd_synth(args):
     return 0
 
 
+def _load_cache(args):
+    """The engine cache implied by --cache-file (warm when it exists)."""
+    path = getattr(args, "cache_file", None)
+    if path:
+        if os.path.exists(path):
+            return AtomCache.from_file(path)
+        return AtomCache()
+    return getattr(args, "cache", False) or None
+
+
+def _save_cache(args, engine):
+    path = getattr(args, "cache_file", None)
+    if path and engine.atom_cache is not None:
+        engine.atom_cache.save(path)
+        print(f"atom cache spilled to {path}", file=sys.stderr)
+
+
 def _engine_from_args(args):
     return FilterEngine(
-        backend=args.backend,
+        backend=getattr(args, "backend", "vectorized"),
         chunk_bytes=args.chunk_bytes,
         num_workers=args.workers,
+        transport=args.transport,
+        mp_context=args.mp_context,
+        cache=_load_cache(args),
+    )
+
+
+def _parse_endpoint(text):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(
+            f"socket source needs --input host:port, got {text!r}"
+        )
+    return host, int(port)
+
+
+def _open_filter_source(args, chunk_bytes):
+    if args.source == "socket":
+        return SocketSource(_parse_endpoint(args.input), chunk_bytes)
+    handle = sys.stdin.buffer if args.input == "-" else args.input
+    return FileSource(handle, chunk_bytes)
+
+
+def _print_worker_stats(engine):
+    workers = engine.stats()["workers"]
+    if not workers:
+        return
+    per_worker = ", ".join(
+        f"pid {pid}: {w['chunks']} chunks / {w['records']} records"
+        + (
+            f" ({w['cache_hits']} cache hits)"
+            if w["cache_hits"] or w["cache_misses"]
+            else ""
+        )
+        for pid, w in workers["workers"].items()
+    )
+    print(
+        f"workers [{workers['transport']}/"
+        f"{workers['mp_context']}]: {per_worker}",
+        file=sys.stderr,
     )
 
 
 def cmd_filter(args):
     expr = parse_filter_expression(args.expression)
     engine = _engine_from_args(args)
-    source = sys.stdin.buffer if args.input == "-" else open(
-        args.input, "rb"
-    )
+    source = _open_filter_source(args, args.chunk_bytes)
     accepted = 0
     total = 0
     out = sys.stdout.buffer
     try:
-        for batch in engine.stream_file(expr, source):
+        for batch in engine.stream(expr, source):
             emitted = batch.accepted
             for record in emitted:
                 out.write(record + b"\n")
@@ -224,14 +291,54 @@ def cmd_filter(args):
             accepted = batch.accepted_seen
             total = batch.records_seen
     finally:
-        if source is not sys.stdin.buffer:
-            source.close()
+        source.close()
     print(
         f"accepted {accepted}/{total} records "
         f"({expr.notation()})",
         file=sys.stderr,
     )
+    _print_worker_stats(engine)
+    _save_cache(args, engine)
     return 0
+
+
+@contextlib.contextmanager
+def _bench_source(kind, ndjson, chunk_bytes):
+    """One streaming pass over the corpus through the chosen ingest.
+
+    ``memory`` streams in-process chunks, ``file`` reads a real
+    temporary NDJSON file, ``socket`` receives the corpus from a
+    feeder thread over a local socket pair — so the benchmark measures
+    the source layer actually in use, not only evaluation.
+    """
+    if kind == "memory":
+        yield FileSource(io.BytesIO(ndjson), chunk_bytes)
+    elif kind == "file":
+        with tempfile.NamedTemporaryFile(suffix=".ndjson") as handle:
+            handle.write(ndjson)
+            handle.flush()
+            source = FileSource(handle.name, chunk_bytes)
+            try:
+                yield source
+            finally:
+                source.close()
+    elif kind == "socket":
+        feeder_end, engine_end = socket.socketpair()
+
+        def feed():
+            with contextlib.suppress(OSError):
+                feeder_end.sendall(ndjson)
+            feeder_end.close()
+
+        thread = threading.Thread(target=feed, daemon=True)
+        thread.start()
+        try:
+            yield SocketSource(engine_end, chunk_bytes)
+        finally:
+            engine_end.close()
+            thread.join(timeout=5)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown bench source {kind!r}")
 
 
 def cmd_bench(args):
@@ -242,21 +349,21 @@ def cmd_bench(args):
     ndjson = dataset.stream.tobytes()
     payload = len(ndjson)
     backends = args.backends.split(",")
-    engine = FilterEngine(
-        chunk_bytes=args.chunk_bytes, num_workers=args.workers,
-        cache=args.cache,
-    )
+    engine = _engine_from_args(args)
     rows = []
     for backend in backends:
         for repeat in range(args.repeat):
-            start = time.perf_counter()
-            accepted = records = 0
-            for batch in engine.stream_file(
-                expr, io.BytesIO(ndjson), backend=backend.strip()
-            ):
-                accepted = batch.accepted_seen
-                records = batch.records_seen
-            elapsed = time.perf_counter() - start
+            with _bench_source(
+                args.source, ndjson, args.chunk_bytes
+            ) as source:
+                start = time.perf_counter()
+                accepted = records = 0
+                for batch in engine.stream(
+                    expr, source, backend=backend.strip()
+                ):
+                    accepted = batch.accepted_seen
+                    records = batch.records_seen
+                elapsed = time.perf_counter() - start
             rate = payload / elapsed if elapsed > 0 else float("inf")
             label = backend.strip()
             if args.repeat > 1:
@@ -274,10 +381,14 @@ def cmd_bench(args):
         title=(
             f"Streaming throughput over {payload} bytes of "
             f"{dataset.name} — {expr.notation()} "
-            f"(chunk={args.chunk_bytes}, workers={args.workers}, "
-            f"cache={'on' if args.cache else 'off'})"
+            f"(source={args.source}, chunk={args.chunk_bytes}, "
+            f"workers={args.workers}, "
+            f"transport={engine.config.transport_name()}, "
+            f"cache={'on' if engine.atom_cache is not None else 'off'})"
         ),
     ))
+    _print_worker_stats(engine)
+    _save_cache(args, engine)
     cache_stats = engine.stats()["cache"]
     if cache_stats is not None:
         print(
@@ -328,7 +439,23 @@ def build_arg_parser():
         "filter", help="apply a raw filter to an NDJSON stream"
     )
     filter_cmd.add_argument("expression")
-    filter_cmd.add_argument("--input", "-i", default="-")
+    filter_cmd.add_argument(
+        "--input", "-i", default="-",
+        help="NDJSON file path, '-' for stdin, or host:port "
+             "with --source socket",
+    )
+    filter_cmd.add_argument(
+        "--source", default="file", choices=["file", "socket"],
+        help="ingest layer: read --input as a file/stdin, or connect "
+             "to it as a host:port socket endpoint",
+    )
+    filter_cmd.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction,
+        default=False,
+        help="attach an AtomCache to the engine (repeated chunk "
+             "content is served from memory; workers start warm)",
+    )
+    _add_cache_file_argument(filter_cmd)
     _add_engine_arguments(filter_cmd)
     filter_cmd.set_defaults(func=cmd_filter)
 
@@ -355,9 +482,26 @@ def build_arg_parser():
         help="stream the corpus this many times per backend "
              "(with --cache, warm passes show the cache effect)",
     )
+    bench.add_argument(
+        "--source", default="memory",
+        choices=["memory", "file", "socket"],
+        help="ingest layer to benchmark: in-memory chunks, a real "
+             "temporary file, or a local socket fed by a thread",
+    )
+    _add_cache_file_argument(bench)
     _add_engine_arguments(bench, with_backend=False)
     bench.set_defaults(func=cmd_bench)
     return parser
+
+
+def _add_cache_file_argument(parser):
+    parser.add_argument(
+        "--cache-file", default=None,
+        help="spill/reload the AtomCache at this path so repeated "
+             "invocations over the same corpus start warm (implies "
+             "--cache; the spill is a pickle — use trusted, "
+             "user-owned paths only)",
+    )
 
 
 def _add_engine_arguments(parser, with_backend=True):
@@ -374,6 +518,19 @@ def _add_engine_arguments(parser, with_backend=True):
     parser.add_argument(
         "--workers", type=int, default=1,
         help="shard chunks across this many worker processes",
+    )
+    parser.add_argument(
+        "--transport", default=DEFAULT_TRANSPORT,
+        choices=sorted(TRANSPORTS),
+        help="how framed chunks reach the workers: pickled record "
+             "lists, or shared-memory slot rings with pickle-free "
+             "record views",
+    )
+    parser.add_argument(
+        "--mp-context", default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="explicit multiprocessing start method for the workers "
+             "(default: fork where available, spawn otherwise)",
     )
 
 

@@ -68,7 +68,6 @@ class DesignSpace:
     def __init__(self, query, dataset, blocks=DEFAULT_BLOCKS,
                  include_string_only=False, engine=None):
         self.query = query
-        self.dataset = dataset
         self.blocks = blocks
         self.options = [
             condition_options(
@@ -83,6 +82,11 @@ class DesignSpace:
             from ..engine import default_engine
 
             engine = default_engine()
+        #: corpora may arrive as any engine ingest object (a chunk
+        #: source, raw NDJSON bytes, a binary handle) — framed into a
+        #: Dataset by the engine's ingest layer before evaluation
+        self.dataset = engine.ingest(dataset, name="design-space")
+        dataset = self.dataset
         #: the shared execution layer running phase-1 atom evaluation;
         #: with an AtomCache attached, queries sharing atoms over the
         #: same corpus reuse each other's masks

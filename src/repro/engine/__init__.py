@@ -11,11 +11,22 @@ harness — obtains per-record match bits from one
   (:func:`repro.core.composition.evaluate_record`), the reference
   oracle the vectorised path is cross-checked against.
 
-The engine also executes **chunked streams**: an iterator of byte
-chunks is reframed into records across chunk seams
-(:class:`repro.engine.framing.RecordFramer`), each framed chunk is
-evaluated with the configured backend in bounded memory, and chunks can
-be sharded across ``num_workers`` processes for multi-core throughput.
+The engine also executes **chunked streams** behind two pluggable
+layers that model the paper's ingest/evaluation boundary explicitly:
+
+* :class:`~repro.engine.sources.ChunkSource` — where bytes come from
+  (:class:`FileSource`, :class:`IterableSource`, :class:`SocketSource`,
+  an :class:`AsyncSource` adapter), with per-source chunk/byte
+  accounting; records are reframed across chunk seams by
+  :class:`repro.engine.framing.RecordFramer` and evaluated in bounded
+  memory;
+* :class:`~repro.engine.transport.WorkerTransport` — how framed chunks
+  reach ``num_workers`` worker processes
+  (:class:`ForkPickleTransport` pickles record lists,
+  :class:`SharedMemoryTransport` ships payloads through shared-memory
+  slot rings with pickle-free record views), with workers started from
+  a warm :class:`AtomCache` snapshot and per-worker counters reported
+  via ``engine.stats()``.
 
 ``FilterEngine(cache=True)`` attaches a shared
 :class:`~repro.engine.atom_cache.AtomCache`: per-atom match masks and
@@ -38,6 +49,7 @@ from .backends import (
 )
 from .engine import (
     DEFAULT_CHUNK_BYTES,
+    DEFAULT_TRANSPORT,
     EngineConfig,
     FilterEngine,
     StreamBatch,
@@ -45,6 +57,24 @@ from .engine import (
     scalar_match_bits,
 )
 from .framing import RecordFramer, iter_file_chunks
+from .sources import (
+    AsyncSource,
+    ChunkSource,
+    FileSource,
+    IterableSource,
+    SocketSource,
+    as_chunk_source,
+    ingest_dataset,
+    ingest_records,
+)
+from .transport import (
+    TRANSPORTS,
+    ForkPickleTransport,
+    SharedMemoryTransport,
+    WorkerTransport,
+    resolve_mp_context,
+    resolve_transport,
+)
 
 __all__ = [
     "AtomCache",
@@ -59,6 +89,7 @@ __all__ = [
     "resolve_backend",
     "resolve_expression",
     "DEFAULT_CHUNK_BYTES",
+    "DEFAULT_TRANSPORT",
     "EngineConfig",
     "FilterEngine",
     "StreamBatch",
@@ -66,4 +97,18 @@ __all__ = [
     "scalar_match_bits",
     "RecordFramer",
     "iter_file_chunks",
+    "AsyncSource",
+    "ChunkSource",
+    "FileSource",
+    "IterableSource",
+    "SocketSource",
+    "as_chunk_source",
+    "ingest_dataset",
+    "ingest_records",
+    "TRANSPORTS",
+    "ForkPickleTransport",
+    "SharedMemoryTransport",
+    "WorkerTransport",
+    "resolve_mp_context",
+    "resolve_transport",
 ]

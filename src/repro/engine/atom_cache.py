@@ -32,6 +32,7 @@ DesignSpace` phase-1 evaluation through it.
 from __future__ import annotations
 
 import hashlib
+import pickle
 from collections import OrderedDict
 
 import numpy as np
@@ -193,6 +194,75 @@ class AtomCache:
         view = self.view_for(dataset)
         bits = evaluate_atom(view, expr, self.evaluation_cache(dataset))
         return np.array(bits, dtype=bool)
+
+    # -- snapshots (worker warm-up, cross-process persistence) --------------
+
+    def snapshot(self, max_bytes=None):
+        """Portable entry list ``[(fingerprint, key, array), ...]``.
+
+        Most-recently-used entries first; ``max_bytes`` truncates the
+        snapshot (dataset views are deliberately excluded — they pin
+        whole corpora and are cheap to rebuild lazily).  Snapshots are
+        plain picklable data: ship one to streaming workers so they
+        start warm, or persist it with :meth:`save`.
+        """
+        entries = []
+        total = 0
+        for (fingerprint, key), array in reversed(
+            self._entries.items()
+        ):
+            total += array.nbytes
+            if max_bytes is not None and total > max_bytes and entries:
+                break
+            entries.append((fingerprint, key, array))
+        return entries
+
+    def load_snapshot(self, entries):
+        """Insert snapshot entries (oldest first, preserving recency)."""
+        for fingerprint, key, array in reversed(list(entries)):
+            self.put(fingerprint, key, array)
+        return self
+
+    def save(self, path, max_bytes=None):
+        """Spill the cache's entries to ``path`` (pickle format).
+
+        A later process (or CLI invocation) over the same corpus starts
+        warm via :meth:`from_file` — the cross-process persistence
+        counterpart of shipping a snapshot to streaming workers.
+
+        The spill is a pickle: loading one executes whatever it
+        contains, so :meth:`from_file` must only be pointed at paths
+        the local user controls (the same trust model as any pickle-
+        based cache file) — never at downloaded or shared-writable
+        artifacts.
+        """
+        with open(path, "wb") as handle:
+            pickle.dump(
+                {"format": 1, "entries": self.snapshot(max_bytes)},
+                handle,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        return path
+
+    @classmethod
+    def from_file(cls, path, **kwargs):
+        """An :class:`AtomCache` preloaded from a :meth:`save` spill.
+
+        ``path`` must be trusted: spills are pickles, and unpickling
+        runs before the format check can reject foreign content (see
+        :meth:`save`).
+        """
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != 1
+            or "entries" not in payload
+        ):
+            raise ReproError(
+                f"{path!r} is not an AtomCache spill file"
+            )
+        return cls(**kwargs).load_snapshot(payload["entries"])
 
     # -- reporting ----------------------------------------------------------
 

@@ -10,16 +10,17 @@ Two execution shapes:
 
 * :meth:`match_bits` — evaluate a whole in-memory corpus at once
   (delegating to the configured backend);
-* :meth:`stream` — consume an iterator of byte chunks in bounded
-  memory, reframe records across chunk seams, evaluate chunk by chunk
-  and yield :class:`StreamBatch` results; with ``num_workers > 1`` the
-  framed chunks are sharded across worker processes while preserving
-  record order.
+* :meth:`stream` — consume a :class:`~repro.engine.sources.ChunkSource`
+  (or anything :func:`~repro.engine.sources.as_chunk_source` accepts) in
+  bounded memory, reframe records across chunk seams, evaluate chunk by
+  chunk and yield :class:`StreamBatch` results; with ``num_workers > 1``
+  the framed chunks are shipped to worker processes through the
+  configured :class:`~repro.engine.transport.WorkerTransport` while
+  preserving record order.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import pickle
 
 import numpy as np
@@ -34,16 +35,20 @@ from .backends import (
     resolve_backend,
     resolve_expression,
 )
-from .framing import RecordFramer, iter_file_chunks
+from .framing import RecordFramer
+from .sources import ChunkSource, FileSource, as_chunk_source, ingest_dataset
+from .transport import resolve_mp_context, resolve_transport
 
 DEFAULT_CHUNK_BYTES = 1 << 20
+DEFAULT_TRANSPORT = "fork-pickle"
 
 
 class EngineConfig:
     """Execution parameters of a :class:`FilterEngine`."""
 
     def __init__(self, backend="vectorized",
-                 chunk_bytes=DEFAULT_CHUNK_BYTES, num_workers=1):
+                 chunk_bytes=DEFAULT_CHUNK_BYTES, num_workers=1,
+                 transport=DEFAULT_TRANSPORT, mp_context=None):
         if chunk_bytes <= 0:
             raise ReproError("chunk_bytes must be positive")
         if num_workers <= 0:
@@ -51,12 +56,26 @@ class EngineConfig:
         self.backend = backend
         self.chunk_bytes = chunk_bytes
         self.num_workers = num_workers
+        #: how framed chunks travel to workers (name or transport class)
+        self.transport = transport
+        resolve_transport(transport)  # fail fast on unknown names
+        #: explicit multiprocessing start method (``None`` = fork where
+        #: available, spawn otherwise — resolved deterministically, see
+        #: :func:`repro.engine.transport.resolve_mp_context`)
+        self.mp_context = mp_context
+        resolve_mp_context(mp_context)  # fail fast on unknown methods
+
+    def transport_name(self):
+        transport = resolve_transport(self.transport)
+        return transport.name
 
     def __repr__(self):
         return (
             f"EngineConfig(backend={self.backend!r}, "
             f"chunk_bytes={self.chunk_bytes}, "
-            f"num_workers={self.num_workers})"
+            f"num_workers={self.num_workers}, "
+            f"transport={self.transport_name()!r}, "
+            f"mp_context={self.mp_context!r})"
         )
 
 
@@ -95,45 +114,24 @@ class StreamBatch:
         )
 
 
-# -- multiprocessing plumbing -------------------------------------------------
-#
-# Workers are initialised once with the pickled (predicate, backend name)
-# pair and then receive plain record lists, so per-chunk IPC carries only
-# payload bytes.  Module-level state keeps the task function picklable
-# under both fork and spawn start methods.
-
-_WORKER_STATE = {}
-
-
-def _worker_init(payload, backend_name):
-    _WORKER_STATE["predicate"] = pickle.loads(payload)
-    _WORKER_STATE["backend"] = resolve_backend(backend_name)
-
-
-def _worker_match_bits(records):
-    backend = _WORKER_STATE["backend"]
-    bits = backend.match_bits(_WORKER_STATE["predicate"], records)
-    return np.packbits(bits), len(records)
-
-
-def _unpack_bits(packed, count):
-    return np.unpackbits(packed, count=count).astype(bool)
-
-
 class FilterEngine:
     """One execution layer, pluggable backends, streaming or batch."""
 
     def __init__(self, backend="vectorized",
                  chunk_bytes=DEFAULT_CHUNK_BYTES, num_workers=1,
-                 config=None, cache=None):
+                 config=None, cache=None, transport=DEFAULT_TRANSPORT,
+                 mp_context=None):
         if config is None:
-            config = EngineConfig(backend, chunk_bytes, num_workers)
+            config = EngineConfig(backend, chunk_bytes, num_workers,
+                                  transport, mp_context)
         self.config = config
         #: shared AtomCache memoising per-(dataset, atom) masks across
         #: queries, streams and chunk batches; ``cache=True`` builds a
         #: default-sized one, ``None``/``False`` disables caching
         self.atom_cache = as_atom_cache(cache)
         self._backends = {}
+        #: per-worker counters of the most recent parallel stream
+        self._worker_stats = None
 
     # -- backend handling ---------------------------------------------------
 
@@ -160,6 +158,8 @@ class FilterEngine:
 
     def match_bits(self, predicate, records, backend=None):
         """Per-record accept bits for an in-memory record batch."""
+        if isinstance(records, ChunkSource):
+            records = self.ingest(records)
         return self.backend(backend).match_bits(predicate, records)
 
     def matches_record(self, predicate, record):
@@ -172,6 +172,19 @@ class FilterEngine:
             np.count_nonzero(self.match_bits(predicate, records, backend))
         )
 
+    def ingest(self, source, name="ingest"):
+        """Materialise any chunk source into a :class:`Dataset`.
+
+        ``Dataset`` instances and plain record lists pass through; chunk
+        sources (files, sockets, iterables of chunks, async producers)
+        are framed on newline boundaries by the same
+        :class:`RecordFramer` the streaming path uses.  This is the SoC
+        simulations' ingest door: raw bytes in, a record corpus out.
+        """
+        return ingest_dataset(
+            source, name=name, chunk_bytes=self.config.chunk_bytes
+        )
+
     def evaluate_atoms(self, dataset, atoms):
         """``{atom.cache_key(): per-record mask}`` for many atoms.
 
@@ -181,6 +194,8 @@ class FilterEngine:
         :class:`~repro.eval.harness.DatasetView` (token matrix,
         structural masks) is built once per corpus instead of per query.
         """
+        if isinstance(dataset, ChunkSource):
+            dataset = self.ingest(dataset)
         dataset = as_dataset(dataset)
         if self.atom_cache is not None:
             return self.atom_cache.evaluate_atoms(dataset, atoms)
@@ -189,13 +204,22 @@ class FilterEngine:
         )
 
     def stats(self):
-        """Engine observability: configuration + atom-cache counters."""
+        """Engine observability: configuration, cache + worker counters.
+
+        ``workers`` carries the per-worker counters (chunks/records
+        evaluated, cache hits/misses) of the most recent parallel
+        stream — with ``num_workers > 1`` the serial-path cache
+        counters alone would misrepresent where evaluation happened.
+        """
         cache = self.atom_cache
         return {
             "backend": self.config.backend,
             "chunk_bytes": self.config.chunk_bytes,
             "num_workers": self.config.num_workers,
+            "transport": self.config.transport_name(),
+            "mp_context": self.config.mp_context,
             "cache": cache.stats() if cache is not None else None,
+            "workers": self._worker_stats,
         }
 
     # -- chunked streaming --------------------------------------------------
@@ -203,30 +227,47 @@ class FilterEngine:
     def stream(self, predicate, chunks, backend=None):
         """Yield :class:`StreamBatch` per framed chunk, bounded memory.
 
-        ``chunks`` is any iterable of bytes-like objects.  Records
-        straddling chunk seams are reassembled by :class:`RecordFramer`;
-        a missing trailing newline still yields the final record.  With
-        ``num_workers > 1`` framed chunks are evaluated in worker
-        processes (at most ``2 * num_workers`` chunks in flight), and
-        batches are yielded strictly in input order either way.
+        ``chunks`` is anything :func:`as_chunk_source` accepts: a
+        :class:`ChunkSource`, raw bytes, a binary handle, a connected
+        socket, an async iterable, or any iterable of bytes-like
+        chunks.  Records straddling chunk seams are reassembled by
+        :class:`RecordFramer`; a missing trailing newline still yields
+        the final record.  With ``num_workers > 1`` framed chunks are
+        shipped to worker processes through the configured
+        :class:`WorkerTransport` (at most ``2 * num_workers`` chunks in
+        flight), and batches are yielded strictly in input order either
+        way.
         """
+        source = as_chunk_source(chunks, self.config.chunk_bytes)
         if self.config.num_workers > 1:
             worker_payload = self._picklable_payload(predicate)
             if worker_payload is not None:
                 yield from self._stream_parallel(
-                    predicate, chunks, backend, worker_payload
+                    predicate, source, backend, worker_payload
                 )
                 return
-        yield from self._stream_serial(predicate, chunks, backend)
+        yield from self._stream_serial(predicate, source, backend)
 
     def stream_file(self, predicate, handle, backend=None):
-        """Stream a binary file object through the engine."""
-        chunks = iter_file_chunks(handle, self.config.chunk_bytes)
-        return self.stream(predicate, chunks, backend=backend)
+        """Stream a binary file object (or path) through the engine.
 
-    def _framed(self, chunks):
+        A path is opened by the engine and closed when the stream
+        finishes (or is abandoned); handles stay owned by the caller.
+        """
+        source = FileSource(handle, self.config.chunk_bytes)
+
+        def generate():
+            try:
+                yield from self.stream(predicate, source,
+                                       backend=backend)
+            finally:
+                source.close()
+
+        return generate()
+
+    def _framed(self, source):
         framer = RecordFramer()
-        for chunk in chunks:
+        for chunk in source:
             records = framer.push(chunk)
             if records:
                 yield records, framer
@@ -249,12 +290,12 @@ class FilterEngine:
                 return expression
         return predicate
 
-    def _stream_serial(self, predicate, chunks, backend):
+    def _stream_serial(self, predicate, source, backend):
         chosen = self.backend(backend)
         predicate = self._stream_target(predicate, chosen)
         index = 0
         records_seen = bytes_seen = accepted_seen = 0
-        for records, framer in self._framed(chunks):
+        for records, framer in self._framed(source):
             matches = chosen.match_bits(predicate, records)
             records_seen += len(records)
             accepted_seen += int(np.count_nonzero(matches))
@@ -269,34 +310,40 @@ class FilterEngine:
         except Exception:
             return None
 
-    def _stream_parallel(self, predicate, chunks, backend, payload):
+    def _create_transport(self, backend_name, payload):
+        transport_cls = resolve_transport(self.config.transport)
+        cache_snapshot = None
+        if self.atom_cache is not None:
+            # warm start: workers begin with the parent's already
+            # computed masks instead of evaluating every chunk cold
+            cache_snapshot = self.atom_cache.snapshot()
+        return transport_cls(
+            num_workers=self.config.num_workers,
+            payload=payload,
+            backend_name=backend_name,
+            mp_context=self.config.mp_context,
+            cache_snapshot=cache_snapshot,
+            chunk_bytes=self.config.chunk_bytes,
+        )
+
+    def _stream_parallel(self, predicate, source, backend, payload):
         backend_name = backend if backend is not None else (
             self.config.backend
         )
         if not isinstance(backend_name, str):
             # backend instances cannot be shipped to workers reliably
-            yield from self._stream_serial(predicate, chunks, backend)
+            yield from self._stream_serial(predicate, source, backend)
             return
+        transport = self._create_transport(backend_name, payload)
         try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context("spawn")
-        max_in_flight = 2 * self.config.num_workers
-        pool = context.Pool(
-            processes=self.config.num_workers,
-            initializer=_worker_init,
-            initargs=(payload, backend_name),
-        )
-        try:
-            pending = []  # (records, framer_snapshot, async_result)
-            index = 0
+            pending = []  # consumed-bytes/records ride next to the
+            index = 0     # transport's in-order result queue
             records_seen = bytes_seen = accepted_seen = 0
 
             def drain_one():
                 nonlocal index, records_seen, bytes_seen, accepted_seen
-                records, consumed_bytes, result = pending.pop(0)
-                packed, count = result.get()
-                matches = _unpack_bits(packed, count)
+                records, consumed_bytes = pending.pop(0)
+                matches, count = transport.drain()
                 records_seen += count
                 accepted_seen += int(np.count_nonzero(matches))
                 bytes_seen = consumed_bytes
@@ -306,20 +353,17 @@ class FilterEngine:
                 index += 1
                 return batch
 
-            for records, framer in self._framed(chunks):
+            for records, framer in self._framed(source):
                 consumed = framer.bytes_consumed - framer.pending_bytes
-                pending.append((
-                    records,
-                    consumed,
-                    pool.apply_async(_worker_match_bits, (records,)),
-                ))
-                while len(pending) >= max_in_flight:
+                pending.append((records, consumed))
+                transport.submit(records)
+                while transport.in_flight >= transport.max_in_flight:
                     yield drain_one()
-            while pending:
+            while transport.in_flight:
                 yield drain_one()
         finally:
-            pool.terminate()
-            pool.join()
+            self._worker_stats = transport.stats()
+            transport.close()
 
     # -- convenience --------------------------------------------------------
 

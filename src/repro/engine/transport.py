@@ -1,0 +1,443 @@
+"""Pluggable worker transports for parallel streaming (WorkerTransport).
+
+With ``num_workers > 1`` the engine shards framed chunks across worker
+processes.  *How* a framed chunk travels to a worker — and what state
+the worker starts with — is this layer's concern:
+
+* :class:`ForkPickleTransport` — the compatibility backend: record
+  lists are pickled through a ``multiprocessing.Pool``'s task pipe.
+  Works everywhere, pays serialisation on every chunk.
+* :class:`SharedMemoryTransport` — framed chunk payloads are written
+  into a ring of ``multiprocessing.shared_memory`` slots (newline-
+  terminated stream bytes + record-boundary offsets); workers map the
+  slot and rebuild the record batch with **no pickle on the payload
+  path**, reconstructing the engine-batch ``Dataset`` (stream + starts)
+  directly from the shared buffer.  Only packed match bits travel back.
+
+Both transports initialise every worker once with the pickled
+predicate, the backend name and — when the owning engine carries an
+:class:`~repro.engine.atom_cache.AtomCache` — a **warm cache snapshot**,
+so parallel streaming no longer evaluates cold: chunks whose content the
+parent has already evaluated are served from the worker's cache, and
+per-worker hit/miss/chunk counters flow back into ``engine.stats()``.
+
+The multiprocessing start method is an explicit engine parameter
+(``EngineConfig(mp_context=...)``), resolved by
+:func:`resolve_mp_context` — no platform guessing, so fork/spawn
+behaviour is deterministic and testable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import pickle
+
+import numpy as np
+
+from ..errors import ReproError
+
+_HEADER_WORDS = 2  # (record count, payload bytes), int64 each
+_HEADER_BYTES = _HEADER_WORDS * 8
+
+
+def resolve_mp_context(mp_context=None):
+    """An explicit multiprocessing context, deterministically chosen.
+
+    ``None`` selects ``fork`` where the platform offers it (POSIX) and
+    ``spawn`` otherwise; a string must name an available start method.
+    Context objects pass through unchanged.
+    """
+    if mp_context is None:
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+    if isinstance(mp_context, str):
+        try:
+            return multiprocessing.get_context(mp_context)
+        except ValueError:
+            available = ", ".join(
+                multiprocessing.get_all_start_methods()
+            )
+            raise ReproError(
+                f"unknown mp_context {mp_context!r} "
+                f"(available: {available})"
+            ) from None
+    if hasattr(mp_context, "Pool"):
+        return mp_context
+    raise ReproError(
+        f"mp_context must be a start-method name or a "
+        f"multiprocessing context, got {mp_context!r}"
+    )
+
+
+# -- worker-side state --------------------------------------------------------
+#
+# Module-level so the task functions stay picklable under both fork and
+# spawn.  Each worker process holds the resolved predicate/backend, an
+# optional AtomCache seeded from the parent's snapshot, its shared-memory
+# attachments, and cumulative counters that ride back on every result.
+
+_WORKER = {}
+
+
+def _worker_init(payload, backend_name, cache_snapshot):
+    from .atom_cache import AtomCache
+    from .backends import (
+        VectorizedBackend,
+        resolve_backend,
+        resolve_expression,
+    )
+
+    predicate = pickle.loads(payload)
+    backend = resolve_backend(backend_name)
+    cache = None
+    if cache_snapshot is not None:
+        cache = AtomCache()
+        cache.load_snapshot(cache_snapshot)
+        if isinstance(backend, VectorizedBackend):
+            backend.atom_cache = cache
+    if isinstance(backend, VectorizedBackend):
+        expression = resolve_expression(predicate)
+        if expression is not None:
+            predicate = expression
+    _WORKER.clear()
+    _WORKER.update(
+        predicate=predicate,
+        backend=backend,
+        cache=cache,
+        shm={},
+        chunks=0,
+        records=0,
+    )
+
+
+def _worker_stats():
+    cache = _WORKER.get("cache")
+    return (
+        os.getpid(),
+        _WORKER["chunks"],
+        _WORKER["records"],
+        cache.hits if cache is not None else 0,
+        cache.misses if cache is not None else 0,
+    )
+
+
+def _evaluate(records):
+    bits = _WORKER["backend"].match_bits(_WORKER["predicate"], records)
+    _WORKER["chunks"] += 1
+    _WORKER["records"] += len(records)
+    return np.packbits(np.asarray(bits, dtype=bool)), len(records), (
+        _worker_stats()
+    )
+
+
+def _task_pickled(records):
+    return _evaluate(records)
+
+
+def _attach_slot(slot_name):
+    # pool children (fork and spawn alike) inherit the parent's
+    # resource tracker, so the attach-time register is deduplicated
+    # there and the parent's close() remains the single unlink point
+    shm = _WORKER["shm"].get(slot_name)
+    if shm is None:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=slot_name)
+        _WORKER["shm"][slot_name] = shm
+    return shm
+
+
+def _write_batch(buf, records):
+    """Serialise one framed batch into a slot buffer.
+
+    Layout: ``int64`` header (record count, payload bytes), ``int64``
+    record boundaries relative to the payload start (``count + 1``
+    entries; boundary *i*..*i+1* spans one newline-terminated record),
+    then the payload bytes themselves.
+    """
+    count = len(records)
+    payload_bytes = sum(len(record) + 1 for record in records)
+    header = np.frombuffer(buf, dtype=np.int64, count=_HEADER_WORDS)
+    header[0] = count
+    header[1] = payload_bytes
+    bounds = np.frombuffer(
+        buf, dtype=np.int64, count=count + 1, offset=_HEADER_BYTES
+    )
+    offset = 0
+    payload_start = _HEADER_BYTES + (count + 1) * 8
+    for index, record in enumerate(records):
+        bounds[index] = offset
+        end = offset + len(record)
+        buf[payload_start + offset:payload_start + end] = record
+        buf[payload_start + end] = 0x0A
+        offset = end + 1
+    bounds[count] = offset
+
+
+def batch_slot_bytes(records):
+    """Slot bytes one framed batch needs under :func:`_write_batch`."""
+    count = len(records)
+    payload_bytes = sum(len(record) + 1 for record in records)
+    return _HEADER_BYTES + (count + 1) * 8 + payload_bytes
+
+
+def _read_batch(buf):
+    """Rebuild the engine-batch Dataset from a slot buffer.
+
+    One copy out of the shared slot (the slot is recycled by the
+    parent as soon as our result lands), then zero-pickle record views
+    sliced off it; the Dataset reuses the payload as its concatenated
+    stream so no re-join happens worker-side.
+    """
+    from ..data.corpus import Dataset
+
+    header = np.frombuffer(buf, dtype=np.int64, count=_HEADER_WORDS)
+    count, payload_bytes = int(header[0]), int(header[1])
+    bounds_end = _HEADER_BYTES + (count + 1) * 8
+    bounds = np.frombuffer(
+        buf, dtype=np.int64, count=count + 1, offset=_HEADER_BYTES
+    )
+    blob = bytes(buf[bounds_end:bounds_end + payload_bytes])
+    records = [
+        blob[start:end - 1]
+        for start, end in zip(bounds.tolist(), bounds[1:].tolist())
+    ]
+    dataset = Dataset("engine-batch", records)
+    dataset._stream = np.frombuffer(blob, dtype=np.uint8)
+    dataset._starts = np.array(bounds[:-1], dtype=np.int64)
+    return dataset
+
+
+def _task_shared(slot_name):
+    return _evaluate(_read_batch(_attach_slot(slot_name).buf))
+
+
+def _unpack_bits(packed, count):
+    return np.unpackbits(packed, count=count).astype(bool)
+
+
+# -- parent-side transports ---------------------------------------------------
+
+class WorkerTransport:
+    """Base class: ship framed record batches to a worker pool.
+
+    A transport instance is one streaming session: construction starts
+    the pool (workers initialised with predicate + backend + optional
+    warm :class:`AtomCache` snapshot), :meth:`submit` enqueues one
+    framed batch, :meth:`drain` returns results strictly in submission
+    order, :meth:`close` tears the pool down.  ``stats()`` aggregates
+    the per-worker counters observed on results so far.
+    """
+
+    name = "?"
+
+    def __init__(self, num_workers, payload, backend_name="vectorized",
+                 mp_context=None, cache_snapshot=None,
+                 chunk_bytes=1 << 20):
+        if num_workers <= 0:
+            raise ReproError("num_workers must be positive")
+        self.num_workers = num_workers
+        self.chunk_bytes = chunk_bytes
+        #: chunks the engine may keep in flight before draining
+        self.max_in_flight = 2 * num_workers
+        self.context = resolve_mp_context(mp_context)
+        self._pending = []
+        self._worker_stats = {}
+        self._setup()
+        self._pool = self.context.Pool(
+            processes=num_workers,
+            initializer=_worker_init,
+            initargs=(payload, backend_name, cache_snapshot),
+        )
+
+    def _setup(self):
+        """Transport-specific state created before the pool starts."""
+
+    # -- session protocol ---------------------------------------------------
+
+    def submit(self, records):
+        """Enqueue one framed record batch for evaluation."""
+        self._pending.append(self._dispatch(records))
+
+    def _dispatch(self, records):
+        raise NotImplementedError
+
+    @property
+    def in_flight(self):
+        return len(self._pending)
+
+    def drain(self):
+        """(matches, count) of the oldest in-flight batch (blocking)."""
+        if not self._pending:
+            raise ReproError("no batch in flight to drain")
+        handle = self._pending.pop(0)
+        packed, count, stats = self._collect(handle)
+        pid, chunks, records, hits, misses = stats
+        self._worker_stats[pid] = {
+            "chunks": chunks,
+            "records": records,
+            "cache_hits": hits,
+            "cache_misses": misses,
+        }
+        return _unpack_bits(packed, count), count
+
+    def _collect(self, handle):
+        return handle.get()
+
+    def stats(self):
+        """Aggregate + per-worker counters seen on results so far."""
+        workers = {
+            pid: dict(counters)
+            for pid, counters in sorted(self._worker_stats.items())
+        }
+        return {
+            "transport": self.name,
+            "mp_context": self.context.get_start_method(),
+            "num_workers": self.num_workers,
+            "chunks": sum(w["chunks"] for w in workers.values()),
+            "records": sum(w["records"] for w in workers.values()),
+            "cache_hits": sum(
+                w["cache_hits"] for w in workers.values()
+            ),
+            "cache_misses": sum(
+                w["cache_misses"] for w in workers.values()
+            ),
+            "workers": workers,
+        }
+
+    def close(self):
+        self._pool.terminate()
+        self._pool.join()
+        self._pending.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return (
+            f"{type(self).__name__}(workers={self.num_workers}, "
+            f"context={self.context.get_start_method()!r})"
+        )
+
+
+class ForkPickleTransport(WorkerTransport):
+    """Compatibility backend: pickle each record batch to the pool."""
+
+    name = "fork-pickle"
+
+    def _dispatch(self, records):
+        return self._pool.apply_async(_task_pickled, (list(records),))
+
+
+class _Slot:
+    """One shared-memory segment of the transport's ring."""
+
+    __slots__ = ("shm", "index")
+
+    def __init__(self, shm, index):
+        self.shm = shm
+        self.index = index
+
+
+class SharedMemoryTransport(WorkerTransport):
+    """Ship framed chunks through a shared-memory slot ring.
+
+    One slot per possible in-flight chunk; the parent writes the
+    newline-terminated payload plus an ``int64`` record-boundary array
+    into a free slot and sends only the slot name through the task
+    pipe.  A batch that does not fit its slot (for instance a single
+    record far larger than ``chunk_bytes``) transparently falls back to
+    the pickled path — correctness never depends on slot capacity.
+    """
+
+    name = "shared-memory"
+
+    #: headroom beyond 2x chunk_bytes for boundary arrays of small
+    #: records and for the seam record carried past a chunk boundary
+    SLOT_SLACK_BYTES = 1 << 16
+
+    def _setup(self):
+        from multiprocessing import shared_memory
+
+        self.slot_bytes = 2 * self.chunk_bytes + self.SLOT_SLACK_BYTES
+        self._slots = []
+        self._free = []
+        for index in range(2 * self.num_workers):
+            shm = shared_memory.SharedMemory(
+                create=True, size=self.slot_bytes
+            )
+            slot = _Slot(shm, index)
+            self._slots.append(slot)
+            self._free.append(slot)
+        #: batches that exceeded slot capacity and went over pickle
+        self.fallback_batches = 0
+
+    def _dispatch(self, records):
+        records = list(records)
+        if (not self._free
+                or batch_slot_bytes(records) > self.slot_bytes):
+            self.fallback_batches += 1
+            return (
+                None,
+                self._pool.apply_async(_task_pickled, (records,)),
+            )
+        slot = self._free.pop()
+        _write_batch(slot.shm.buf, records)
+        return (
+            slot,
+            self._pool.apply_async(_task_shared, (slot.shm.name,)),
+        )
+
+    def _collect(self, handle):
+        slot, result = handle
+        try:
+            return result.get()
+        finally:
+            if slot is not None:
+                self._free.append(slot)
+
+    def stats(self):
+        stats = super().stats()
+        stats["slots"] = len(self._slots)
+        stats["slot_bytes"] = self.slot_bytes
+        stats["fallback_batches"] = self.fallback_batches
+        return stats
+
+    def close(self):
+        super().close()
+        for slot in self._slots:
+            with contextlib.suppress(Exception):
+                slot.shm.close()
+            with contextlib.suppress(FileNotFoundError):
+                slot.shm.unlink()
+        self._slots = []
+        self._free = []
+
+
+TRANSPORTS = {
+    ForkPickleTransport.name: ForkPickleTransport,
+    SharedMemoryTransport.name: SharedMemoryTransport,
+}
+
+
+def resolve_transport(transport):
+    """Accept a transport name or class; return the transport class."""
+    if isinstance(transport, type) and issubclass(
+        transport, WorkerTransport
+    ):
+        return transport
+    try:
+        return TRANSPORTS[transport]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(TRANSPORTS))
+        raise ReproError(
+            f"unknown transport {transport!r} (known: {known})"
+        ) from None

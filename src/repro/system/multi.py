@@ -61,7 +61,11 @@ class MultiStreamSoC:
         self.engine = engine or FilterEngine(cache=True)
 
     def run(self, datasets, functional=True):
-        """Run every stream; ``datasets`` maps stream name -> Dataset.
+        """Run every stream; ``datasets`` maps stream name -> corpus.
+
+        A corpus is a ``Dataset`` or any ingest object the shared
+        engine accepts (chunk sources, raw bytes, binary handles),
+        framed through the engine's ingest layer.
 
         Returns {stream name: ThroughputReport}.  Wall-clock time of the
         whole device is the max over streams (they are concurrent).
@@ -81,7 +85,10 @@ class MultiStreamSoC:
         for assignment in self.assignments:
             if assignment.name not in datasets:
                 raise ReproError(f"no dataset for stream {assignment.name!r}")
-            dataset = datasets[assignment.name]
+            dataset = self.engine.ingest(
+                datasets[assignment.name],
+                name=f"stream-{assignment.name}",
+            )
             matches = None
             host_seconds = None
             if functional:

@@ -130,13 +130,19 @@ class RawFilterSoC:
         """Stream a dataset through the system; returns ThroughputReport.
 
         Args:
-            dataset: the (inflated) record corpus.
+            dataset: the (inflated) record corpus — a ``Dataset``, or
+                any ingest object the engine accepts (a
+                :class:`~repro.engine.sources.ChunkSource`, raw bytes,
+                a binary handle …), framed on newline boundaries by the
+                engine's ingest layer exactly as the hardware splitter
+                would.
             precomputed_matches: optional per-record accept bits; when
                 absent and ``functional`` is true they are computed by
                 the shared engine (identical to the lanes' logic).
             functional: evaluate match bits at all (disable for pure
                 timing runs on very large corpora).
         """
+        dataset = self.engine.ingest(dataset, name="soc-ingest")
         config = self.config
         dma = config.dma
         matches = precomputed_matches

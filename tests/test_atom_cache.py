@@ -324,3 +324,63 @@ class TestCachePolicy:
                           backend="scalar")
         assert engine.atom_cache.misses == 0
         assert len(engine.atom_cache) == 0
+
+
+class TestSnapshots:
+    """Snapshot/spill: worker warm-up and cross-process persistence."""
+
+    def _warmed_cache(self, num_records=60):
+        dataset = load_dataset("smartcity", num_records, seed=9)
+        engine = FilterEngine(cache=True)
+        engine.match_bits(comp.s("temperature", 1), dataset)
+        engine.match_bits(comp.v_int(0, 40), dataset)
+        return engine.atom_cache, dataset
+
+    def test_snapshot_roundtrip_preserves_entries(self):
+        cache, dataset = self._warmed_cache()
+        entries = cache.snapshot()
+        assert len(entries) == len(cache)
+        clone = AtomCache().load_snapshot(entries)
+        assert len(clone) == len(cache)
+        # the clone serves the same masks without re-evaluating
+        engine = FilterEngine(cache=clone)
+        misses_before = clone.misses
+        bits = engine.match_bits(comp.s("temperature", 1), dataset)
+        assert clone.misses == misses_before
+        reference = FilterEngine().match_bits(
+            comp.s("temperature", 1), dataset
+        )
+        assert bits.tolist() == reference.tolist()
+
+    def test_snapshot_orders_most_recent_first(self):
+        cache = AtomCache()
+        cache.put((1, b"fp"), "old", np.zeros(4, dtype=bool))
+        cache.put((1, b"fp"), "new", np.ones(4, dtype=bool))
+        entries = cache.snapshot()
+        assert [key for _, key, _ in entries] == ["new", "old"]
+
+    def test_snapshot_byte_budget_keeps_recent_entries(self):
+        cache = AtomCache()
+        cache.put((1, b"fp"), "old", np.zeros(1024, dtype=np.uint8))
+        cache.put((1, b"fp"), "new", np.zeros(1024, dtype=np.uint8))
+        entries = cache.snapshot(max_bytes=1024)
+        assert [key for _, key, _ in entries] == ["new"]
+
+    def test_save_and_from_file(self, tmp_path):
+        cache, dataset = self._warmed_cache()
+        path = tmp_path / "atoms.pkl"
+        cache.save(path)
+        warm = AtomCache.from_file(path)
+        assert len(warm) == len(cache)
+        engine = FilterEngine(cache=warm)
+        engine.match_bits(comp.s("temperature", 1), dataset)
+        assert warm.hits > 0
+        assert warm.misses == 0
+
+    def test_from_file_rejects_garbage(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        import pickle
+
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(ReproError):
+            AtomCache.from_file(path)

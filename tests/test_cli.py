@@ -170,3 +170,110 @@ class TestCommands:
         assert args.records == 1000
         bench = parser.parse_args(["bench", "s:1:a"])
         assert bench.cache is True and bench.repeat == 1
+
+
+class TestIngestAndTransportOptions:
+    PAYLOAD = (
+        b'{"n":"temperature","v":"30.0"}\n'
+        b'{"n":"temperature","v":"99.0"}\n'
+        b'{"n":"humidity","v":"30.0"}\n'
+    )
+    EXPRESSION = "group(s:1:temperature,v:float:0.7:35.1)"
+
+    def test_filter_with_workers_and_shared_memory(self, tmp_path,
+                                                   capsys):
+        source = tmp_path / "in.ndjson"
+        source.write_bytes(self.PAYLOAD * 20)
+        code = main([
+            "filter", self.EXPRESSION,
+            "--input", str(source),
+            "--workers", "2", "--transport", "shared-memory",
+            "--chunk-bytes", "256",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.count(b'"30.0"'.decode()) >= 20
+        assert "accepted 20/60" in captured.err
+        assert "workers [shared-memory/" in captured.err
+
+    def test_filter_from_socket_source(self, capsys):
+        import socket
+        import threading
+
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+
+        def serve():
+            conn, _ = server.accept()
+            conn.sendall(self.PAYLOAD)
+            conn.close()
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        code = main([
+            "filter", self.EXPRESSION,
+            "--source", "socket", "--input", f"127.0.0.1:{port}",
+        ])
+        thread.join()
+        server.close()
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "accepted 1/3" in captured.err
+
+    def test_filter_socket_needs_endpoint(self, capsys):
+        code = main([
+            "filter", self.EXPRESSION, "--source", "socket",
+            "--input", "not-an-endpoint",
+        ])
+        assert code == 1
+        assert "host:port" in capsys.readouterr().err
+
+    def test_bench_with_workers_reports_worker_stats(self, capsys):
+        code = main([
+            "bench", "s:1:temperature",
+            "--records", "120", "--backends", "vectorized",
+            "--workers", "2", "--transport", "shared-memory",
+            "--chunk-bytes", "2048",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "transport=shared-memory" in captured.out
+        assert "workers [shared-memory/" in captured.err
+
+    @pytest.mark.parametrize("source", ["file", "socket"])
+    def test_bench_alternative_sources(self, source, capsys):
+        code = main([
+            "bench", "s:1:temperature",
+            "--records", "60", "--backends", "vectorized",
+            "--source", source,
+        ])
+        assert code == 0
+        assert f"source={source}" in capsys.readouterr().out
+
+    def test_bench_cache_file_warm_restart(self, tmp_path, capsys):
+        spill = tmp_path / "atoms.pkl"
+        for _ in range(2):
+            code = main([
+                "bench", "s:1:temperature",
+                "--records", "60", "--backends", "vectorized",
+                "--cache-file", str(spill),
+            ])
+            assert code == 0
+        captured = capsys.readouterr()
+        assert spill.exists()
+        assert "atom cache spilled" in captured.err
+        # the second invocation started warm from the spill file
+        assert "hit rate 100.0%" in captured.err
+
+    def test_parser_defaults(self):
+        parser = build_arg_parser()
+        args = parser.parse_args(["filter", "s:1:a"])
+        assert args.source == "file"
+        assert args.transport == "fork-pickle"
+        assert args.mp_context is None
+        assert args.cache is False and args.cache_file is None
+        bench = parser.parse_args(["bench", "s:1:a"])
+        assert bench.source == "memory"
+        assert bench.transport == "fork-pickle"

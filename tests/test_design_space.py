@@ -230,3 +230,25 @@ class TestNoFalseNegatives:
         from repro.eval.metrics import FilterMetrics
 
         assert FilterMetrics(accepted, truth).fpr < 0.15
+
+
+class TestDesignSpaceIngest:
+    def test_corpus_may_arrive_as_a_chunk_source(self):
+        """The eval harness's phase-1 path accepts raw chunk sources:
+        the corpus is framed by the engine's ingest layer."""
+        from repro.engine import FilterEngine, IterableSource
+
+        dataset = load_dataset(QT.dataset_name, 150, seed=4)
+        payload = dataset.stream.tobytes()
+        engine = FilterEngine(cache=True)
+        direct = DesignSpace(QT, dataset, engine=engine)
+        chunks = [payload[i:i + 512] for i in range(0, len(payload), 512)]
+        streamed = DesignSpace(
+            QT, IterableSource(chunks), engine=engine
+        )
+        assert streamed.dataset.records == dataset.records
+        direct_points = direct.explore(limit=50)
+        streamed_points = streamed.explore(limit=50)
+        assert [p.fpr for p in streamed_points] == [
+            p.fpr for p in direct_points
+        ]

@@ -1,0 +1,352 @@
+"""Tests for the ChunkSource ingest layer (repro.engine.sources)."""
+
+import io
+import socket
+import threading
+
+import pytest
+
+import repro.core.composition as comp
+from repro.data import Dataset, load_dataset
+from repro.engine import (
+    AsyncSource,
+    ChunkSource,
+    FileSource,
+    FilterEngine,
+    IterableSource,
+    SocketSource,
+    as_chunk_source,
+    ingest_dataset,
+    ingest_records,
+)
+from repro.errors import ReproError
+
+
+def simple_filter():
+    return comp.group(comp.s("temperature", 1), comp.v("0.7", "35.1"))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_dataset("smartcity", 120, seed=3)
+
+
+@pytest.fixture(scope="module")
+def payload(corpus):
+    return corpus.stream.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# individual sources
+# ---------------------------------------------------------------------------
+
+class TestIterableSource:
+    def test_yields_chunks_with_accounting(self):
+        source = IterableSource([b"abc", b"", bytearray(b"def")])
+        assert list(source) == [b"abc", b"", b"def"]
+        stats = source.stats()
+        assert stats["source"] == "iterable"
+        assert stats["chunks_read"] == 3
+        assert stats["bytes_read"] == 6
+
+    def test_empty_chunks_do_not_terminate_the_stream(self):
+        """Bursty producers may deliver nothing; only exhaustion ends
+        the stream (unlike a file read, where b"" means EOF)."""
+        chunks = [b'{"a":1}\n', b"", b"", b'{"b":2}\n', b"", b'{"c":3}']
+        assert ingest_records(IterableSource(chunks)) == [
+            b'{"a":1}', b'{"b":2}', b'{"c":3}'
+        ]
+
+    def test_rejects_text_chunks(self):
+        with pytest.raises(ReproError):
+            list(IterableSource(["text"]))
+
+
+class TestFileSource:
+    def test_reads_path_and_owns_handle(self, tmp_path):
+        path = tmp_path / "data.ndjson"
+        path.write_bytes(b'{"a":1}\n{"b":2}\n')
+        with FileSource(path, chunk_bytes=4) as source:
+            chunks = list(source)
+        assert b"".join(chunks) == b'{"a":1}\n{"b":2}\n'
+        assert source.bytes_read == 16
+        assert source.chunks_read == 4
+
+    def test_wraps_handle_without_owning_it(self):
+        handle = io.BytesIO(b"abcdef")
+        source = FileSource(handle, chunk_bytes=4)
+        assert list(source) == [b"abcd", b"ef"]
+        source.close()
+        assert not handle.closed  # caller still owns the handle
+
+    def test_non_seekable_uses_read1(self):
+        class FakePipe:
+            def __init__(self, pieces):
+                self.pieces = list(pieces)
+                self.read_called = False
+
+            def seekable(self):
+                return False
+
+            def read1(self, size):
+                return self.pieces.pop(0) if self.pieces else b""
+
+            def read(self, size):  # would block in a real pipe
+                self.read_called = True
+                return self.read1(size)
+
+        pipe = FakePipe([b'{"a":1}\n', b'{"b":2}\n'])
+        source = FileSource(pipe, chunk_bytes=1 << 20)
+        assert list(source) == [b'{"a":1}\n', b'{"b":2}\n']
+        assert not pipe.read_called
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ReproError):
+            FileSource(object())
+        with pytest.raises(ReproError):
+            FileSource(io.BytesIO(b""), chunk_bytes=0)
+
+
+class TestSocketSource:
+    def test_receives_until_peer_eof(self, payload):
+        feeder, receiver = socket.socketpair()
+
+        def feed():
+            for start in range(0, len(payload), 700):
+                feeder.sendall(payload[start:start + 700])
+            feeder.close()
+
+        thread = threading.Thread(target=feed)
+        thread.start()
+        source = SocketSource(receiver, chunk_bytes=1024)
+        data = b"".join(source)
+        thread.join()
+        receiver.close()
+        assert data == payload
+        assert source.bytes_read == len(payload)
+        assert source.stats()["source"] == "socket"
+
+    def test_connects_to_address_and_owns_connection(self, payload):
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        port = server.getsockname()[1]
+
+        def serve():
+            conn, _ = server.accept()
+            conn.sendall(payload[:1000])
+            conn.close()
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        with SocketSource(("127.0.0.1", port)) as source:
+            data = b"".join(source)
+        thread.join()
+        server.close()
+        assert data == payload[:1000]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ReproError):
+            SocketSource("not-a-socket")
+        feeder, receiver = socket.socketpair()
+        try:
+            with pytest.raises(ReproError):
+                SocketSource(receiver, chunk_bytes=0)
+        finally:
+            feeder.close()
+            receiver.close()
+
+
+class TestAsyncSource:
+    def test_drains_async_generator(self, payload):
+        async def produce():
+            for start in range(0, len(payload), 900):
+                yield payload[start:start + 900]
+
+        source = AsyncSource(produce())
+        assert b"".join(source) == payload
+        assert source.chunks_read == -(-len(payload) // 900)
+
+    def test_async_records_reach_the_engine(self, corpus, payload):
+        async def produce():
+            yield payload
+
+        engine = FilterEngine()
+        expected = engine.match_bits(simple_filter(), corpus)
+        matches = []
+        for batch in engine.stream(simple_filter(),
+                                   AsyncSource(produce())):
+            matches.extend(batch.matches.tolist())
+        assert matches == expected.tolist()
+
+    def test_rejects_non_async_iterables(self):
+        with pytest.raises(ReproError):
+            AsyncSource([b"chunk"])
+
+
+# ---------------------------------------------------------------------------
+# normalisation + ingest
+# ---------------------------------------------------------------------------
+
+class TestAsChunkSource:
+    def test_passthrough_and_dispatch(self):
+        source = IterableSource([b"x"])
+        assert as_chunk_source(source) is source
+        assert isinstance(as_chunk_source(b"bytes"), IterableSource)
+        assert isinstance(
+            as_chunk_source(io.BytesIO(b"x")), FileSource
+        )
+        assert isinstance(as_chunk_source([b"a", b"b"]), IterableSource)
+
+        async def produce():
+            yield b"x"
+
+        assert isinstance(as_chunk_source(produce()), AsyncSource)
+
+    def test_socket_dispatch(self):
+        feeder, receiver = socket.socketpair()
+        try:
+            assert isinstance(
+                as_chunk_source(receiver), SocketSource
+            )
+        finally:
+            feeder.close()
+            receiver.close()
+
+    def test_rejects_unknown_objects(self):
+        with pytest.raises(ReproError):
+            as_chunk_source(42)
+
+    def test_base_chunks_hook_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            list(ChunkSource())
+
+
+class TestIngest:
+    def test_ingest_dataset_from_chunks(self, corpus, payload):
+        dataset = ingest_dataset(
+            IterableSource([payload]), name="ingested"
+        )
+        assert dataset.records == corpus.records
+        assert dataset.name == "ingested"
+
+    def test_dataset_and_record_lists_pass_through(self, corpus):
+        assert ingest_dataset(corpus) is corpus
+        wrapped = ingest_dataset([b'{"a":1}', b'{"b":2}'])
+        assert isinstance(wrapped, Dataset)
+        assert len(wrapped) == 2
+
+    def test_engine_ingest_uses_config_chunking(self, corpus, payload):
+        engine = FilterEngine(chunk_bytes=128)
+        dataset = engine.ingest(io.BytesIO(payload))
+        assert dataset.records == corpus.records
+
+    def test_match_bits_accepts_a_source(self, corpus, payload):
+        engine = FilterEngine()
+        direct = engine.match_bits(simple_filter(), corpus)
+        from_source = engine.match_bits(
+            simple_filter(), IterableSource([payload])
+        )
+        assert from_source.tolist() == direct.tolist()
+
+
+# ---------------------------------------------------------------------------
+# framing edge cases through the sources
+# ---------------------------------------------------------------------------
+
+class TestFramingEdgeCases:
+    def test_record_larger_than_chunk_bytes(self):
+        """A single record spanning many chunks reassembles exactly."""
+        big = b'{"blob":"' + b"x" * 5000 + b'","temperature":"1.0"}'
+        small = b'{"temperature":"2.0"}'
+        payload = big + b"\n" + small + b"\n"
+        engine = FilterEngine(chunk_bytes=64)
+        records = []
+        for batch in engine.stream(
+            comp.s("temperature", 1), io.BytesIO(payload)
+        ):
+            records.extend(batch.records)
+        assert records == [big, small]
+
+    def test_seam_split_inside_unicode_escape(self):
+        r"""A chunk seam landing inside a \uXXXX escape must not split
+        the record or corrupt the escape bytes."""
+        record = b'{"n":"temp\\u00e9rature","v":"3.0"}'
+        other = b'{"n":"humidity","v":"9.9"}'
+        payload = record + b"\n" + other + b"\n"
+        escape_at = record.index(b"\\u00e9")
+        engine = FilterEngine()
+        expected = engine.match_bits(
+            comp.s("humidity", 1), [record, other]
+        ).tolist()
+        # cut at every position inside the escape sequence
+        for offset in range(len(b"\\u00e9") + 1):
+            cut = escape_at + offset
+            chunks = [payload[:cut], payload[cut:]]
+            records, matches = [], []
+            for batch in engine.stream(comp.s("humidity", 1), chunks):
+                records.extend(batch.records)
+                matches.extend(batch.matches.tolist())
+            assert records == [record, other], f"cut at {cut}"
+            assert matches == expected, f"cut at {cut}"
+
+    def test_empty_chunks_between_records(self, corpus, payload):
+        """Interleaved empty chunks change nothing — byte accounting
+        and match bits are identical to the dense stream."""
+        pieces = [payload[i:i + 301] for i in range(0, len(payload), 301)]
+        sparse = []
+        for piece in pieces:
+            sparse += [b"", piece, b""]
+        engine = FilterEngine()
+        expected = engine.match_bits(simple_filter(), corpus)
+        matches = []
+        last = None
+        for last in engine.stream(simple_filter(),
+                                  IterableSource(sparse)):
+            matches.extend(last.matches.tolist())
+        assert matches == expected.tolist()
+        assert last.bytes_seen == len(payload)
+
+
+class TestStreamFileOwnership:
+    def _write_corpus(self, tmp_path):
+        path = tmp_path / "corpus.ndjson"
+        path.write_bytes(b'{"n":"temperature","v":"1.0"}\n' * 40)
+        return path
+
+    def test_stream_file_accepts_path_and_closes_it(self, tmp_path):
+        import gc
+        import warnings
+
+        path = self._write_corpus(tmp_path)
+        engine = FilterEngine(chunk_bytes=128)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            batches = list(
+                engine.stream_file(comp.s("temperature", 1), str(path))
+            )
+            gc.collect()
+        assert sum(len(batch) for batch in batches) == 40
+        assert not [
+            w for w in caught
+            if issubclass(w.category, ResourceWarning)
+        ]
+
+    def test_abandoned_path_stream_still_closes(self, tmp_path):
+        import gc
+        import warnings
+
+        path = self._write_corpus(tmp_path)
+        engine = FilterEngine(chunk_bytes=64)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            stream = engine.stream_file(
+                comp.s("temperature", 1), str(path)
+            )
+            next(stream)  # partially consume, then abandon
+            stream.close()
+            gc.collect()
+        assert not [
+            w for w in caught
+            if issubclass(w.category, ResourceWarning)
+        ]

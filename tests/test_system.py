@@ -123,3 +123,36 @@ class TestSoC:
     def test_bad_config(self):
         with pytest.raises(ReproError):
             SoCConfig(num_lanes=0)
+
+
+class TestSoCIngest:
+    """The SoC consumes raw chunk sources through the engine's ingest
+    layer — the software model of the paper's I/O-to-lanes boundary."""
+
+    def test_run_accepts_raw_ndjson_bytes(self):
+        from repro.engine import FilterEngine
+
+        dataset = load_dataset("smartcity", 60)
+        payload = dataset.stream.tobytes()
+        expr = comp.group(
+            comp.s("temperature", 1), comp.v("0.7", "35.1")
+        )
+        engine = FilterEngine()
+        from_dataset = RawFilterSoC(expr, engine=engine).run(dataset)
+        from_bytes = RawFilterSoC(expr, engine=engine).run(payload)
+        assert (
+            from_bytes.matches.tolist()
+            == from_dataset.matches.tolist()
+        )
+        assert from_bytes.total_bytes == from_dataset.total_bytes
+
+    def test_run_accepts_a_chunk_source(self):
+        from repro.engine import IterableSource
+
+        dataset = load_dataset("taxi", 40)
+        payload = dataset.stream.tobytes()
+        chunks = [payload[i:i + 333] for i in range(0, len(payload), 333)]
+        expr = comp.s("taxi", 2)
+        report = RawFilterSoC(expr).run(IterableSource(chunks))
+        direct = RawFilterSoC(expr).run(dataset)
+        assert report.matches.tolist() == direct.matches.tolist()

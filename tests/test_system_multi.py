@@ -166,3 +166,27 @@ class TestReconfiguration:
         amortized = soc.amortized_bandwidth(report)
         assert amortized < raw
         assert amortized > 0
+
+
+class TestMultiStreamIngest:
+    def test_streams_accept_chunk_sources(self):
+        from repro.engine import IterableSource
+
+        datasets = {
+            "a": load_dataset("smartcity", 40),
+            "b": load_dataset("taxi", 40),
+        }
+        soc = MultiStreamSoC([
+            StreamAssignment("a", comp.s("temperature", 1), 3),
+            StreamAssignment("b", comp.s("taxi", 2), 4),
+        ])
+        direct = soc.run(datasets)
+        as_sources = soc.run({
+            "a": IterableSource([datasets["a"].stream.tobytes()]),
+            "b": datasets["b"].stream.tobytes(),
+        })
+        for name in ("a", "b"):
+            assert (
+                as_sources[name].matches.tolist()
+                == direct[name].matches.tolist()
+            )

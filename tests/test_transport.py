@@ -1,0 +1,404 @@
+"""Tests for the WorkerTransport layer (repro.engine.transport).
+
+The acceptance bar: parallel streaming through either transport is
+bit-identical to the serial path, workers can start from a warm
+AtomCache snapshot, the multiprocessing start method is explicit, and
+per-worker counters surface through ``engine.stats()``.
+"""
+
+import io
+import multiprocessing
+import random
+
+import pytest
+
+import repro.core.composition as comp
+from repro.data import load_dataset
+from repro.engine import (
+    AtomCache,
+    EngineConfig,
+    FilterEngine,
+    ForkPickleTransport,
+    SharedMemoryTransport,
+    resolve_mp_context,
+    resolve_transport,
+)
+from repro.errors import ReproError
+
+
+def simple_filter():
+    return comp.group(comp.s("temperature", 1), comp.v("0.7", "35.1"))
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_dataset("smartcity", 160, seed=13)
+
+
+@pytest.fixture(scope="module")
+def payload(corpus):
+    return corpus.stream.tobytes()
+
+
+def stream_all(engine, expr, payload, backend=None):
+    records, matches = [], []
+    last = None
+    for last in engine.stream_file(
+        expr, io.BytesIO(payload), backend=backend
+    ):
+        records.extend(last.records)
+        matches.extend(last.matches.tolist())
+    return records, matches, last
+
+
+# ---------------------------------------------------------------------------
+# resolution + configuration
+# ---------------------------------------------------------------------------
+
+class TestResolution:
+    def test_transport_names_resolve(self):
+        assert resolve_transport("fork-pickle") is ForkPickleTransport
+        assert (
+            resolve_transport("shared-memory") is SharedMemoryTransport
+        )
+        assert (
+            resolve_transport(SharedMemoryTransport)
+            is SharedMemoryTransport
+        )
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_transport("carrier-pigeon")
+        with pytest.raises(ReproError):
+            EngineConfig(transport="carrier-pigeon")
+
+    def test_mp_context_explicit_and_default(self):
+        methods = multiprocessing.get_all_start_methods()
+        default = resolve_mp_context(None)
+        expected = "fork" if "fork" in methods else "spawn"
+        assert default.get_start_method() == expected
+        assert (
+            resolve_mp_context("spawn").get_start_method() == "spawn"
+        )
+        context = multiprocessing.get_context("spawn")
+        assert resolve_mp_context(context) is context
+
+    def test_unknown_mp_context_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_mp_context("teleport")
+        with pytest.raises(ReproError):
+            EngineConfig(mp_context="teleport")
+        with pytest.raises(ReproError):
+            resolve_mp_context(42)
+
+    def test_config_carries_transport_and_context(self):
+        config = EngineConfig(
+            num_workers=2, transport="shared-memory",
+            mp_context="spawn",
+        )
+        assert config.transport_name() == "shared-memory"
+        assert "shared-memory" in repr(config)
+        assert "spawn" in repr(config)
+
+
+# ---------------------------------------------------------------------------
+# differential: parallel transports vs the serial path
+# ---------------------------------------------------------------------------
+
+class TestTransportDifferential:
+    @pytest.mark.parametrize("transport", ["fork-pickle",
+                                           "shared-memory"])
+    @pytest.mark.parametrize("chunk_bytes", [256, 1024, 8192])
+    def test_bit_identical_to_serial(self, corpus, payload,
+                                     transport, chunk_bytes):
+        expr = simple_filter()
+        serial = FilterEngine(chunk_bytes=chunk_bytes)
+        parallel = FilterEngine(
+            chunk_bytes=chunk_bytes, num_workers=2,
+            transport=transport,
+        )
+        want_records, want_matches, want_last = stream_all(
+            serial, expr, payload
+        )
+        got_records, got_matches, got_last = stream_all(
+            parallel, expr, payload
+        )
+        assert got_records == want_records
+        assert got_matches == want_matches
+        assert got_last.records_seen == want_last.records_seen
+        assert got_last.bytes_seen == want_last.bytes_seen
+        assert got_last.accepted_seen == want_last.accepted_seen
+
+    def test_random_expressions_shared_memory(self, corpus, payload):
+        rng = random.Random(5)
+        from test_engine import random_expression
+
+        serial = FilterEngine(chunk_bytes=700)
+        parallel = FilterEngine(
+            chunk_bytes=700, num_workers=2, transport="shared-memory"
+        )
+        for _ in range(4):
+            expr = random_expression(rng)
+            _, want, _ = stream_all(serial, expr, payload)
+            _, got, _ = stream_all(parallel, expr, payload)
+            assert got == want, expr.notation()
+
+    def test_scalar_backend_through_transports(self, corpus, payload):
+        expr = simple_filter()
+        serial = FilterEngine(backend="scalar", chunk_bytes=512)
+        parallel = FilterEngine(
+            backend="scalar", chunk_bytes=512, num_workers=2,
+            transport="shared-memory",
+        )
+        _, want, _ = stream_all(serial, expr, payload)
+        _, got, _ = stream_all(parallel, expr, payload)
+        assert got == want
+
+    def test_oversized_record_falls_back_to_pickle(self):
+        """A record bigger than the shared slot rides the pickled
+        fallback path — results stay identical."""
+        big = b'{"blob":"' + b"y" * (1 << 17) + b'","n":"temp"}'
+        rows = [b'{"n":"temperature","v":"1.0"}'] * 20
+        payload = b"\n".join(rows[:10]) + b"\n" + big + b"\n" + (
+            b"\n".join(rows[10:]) + b"\n"
+        )
+        expr = comp.s("temperature", 1)
+        serial = FilterEngine(chunk_bytes=128)
+        parallel = FilterEngine(
+            chunk_bytes=128, num_workers=2, transport="shared-memory"
+        )
+        _, want, _ = stream_all(serial, expr, payload)
+        _, got, _ = stream_all(parallel, expr, payload)
+        assert got == want
+        workers = parallel.stats()["workers"]
+        assert workers["fallback_batches"] >= 1
+
+    def test_spawn_context_matches_fork(self, corpus, payload):
+        expr = simple_filter()
+        serial = FilterEngine(chunk_bytes=4096)
+        _, want, _ = stream_all(serial, expr, payload)
+        spawned = FilterEngine(
+            chunk_bytes=4096, num_workers=2,
+            transport="shared-memory", mp_context="spawn",
+        )
+        _, got, _ = stream_all(spawned, expr, payload)
+        assert got == want
+        assert spawned.stats()["workers"]["mp_context"] == "spawn"
+
+
+# ---------------------------------------------------------------------------
+# warm-cache workers + per-worker stats
+# ---------------------------------------------------------------------------
+
+class TestWarmWorkers:
+    def test_workers_start_from_cache_snapshot(self, corpus, payload):
+        """After a serial warm pass, every parallel chunk is served
+        from the workers' snapshot — zero worker misses."""
+        expr = simple_filter()
+        cache = AtomCache()
+        warm = FilterEngine(chunk_bytes=1024, cache=cache)
+        _, want, _ = stream_all(warm, expr, payload)
+        parallel = FilterEngine(
+            chunk_bytes=1024, num_workers=2,
+            transport="shared-memory", cache=cache,
+        )
+        _, got, _ = stream_all(parallel, expr, payload)
+        assert got == want
+        workers = parallel.stats()["workers"]
+        assert workers["cache_hits"] > 0
+        assert workers["cache_misses"] == 0
+
+    def test_cold_workers_report_misses(self, corpus, payload):
+        engine = FilterEngine(
+            chunk_bytes=1024, num_workers=2,
+            transport="fork-pickle", cache=True,
+        )
+        stream_all(engine, simple_filter(), payload)
+        workers = engine.stats()["workers"]
+        assert workers["cache_misses"] > 0
+        assert workers["cache_hits"] == 0
+
+    def test_stats_expose_per_worker_counters(self, corpus, payload):
+        engine = FilterEngine(
+            chunk_bytes=512, num_workers=2, transport="shared-memory"
+        )
+        _, _, last = stream_all(engine, simple_filter(), payload)
+        stats = engine.stats()
+        assert stats["transport"] == "shared-memory"
+        workers = stats["workers"]
+        assert workers["records"] == last.records_seen
+        assert workers["chunks"] >= 1
+        assert workers["slots"] == 4
+        per_worker = workers["workers"]
+        assert per_worker  # at least one worker reported
+        assert sum(w["chunks"] for w in per_worker.values()) == (
+            workers["chunks"]
+        )
+        for counters in per_worker.values():
+            assert set(counters) == {
+                "chunks", "records", "cache_hits", "cache_misses"
+            }
+
+    def test_serial_engine_reports_no_worker_stats(self, corpus):
+        engine = FilterEngine()
+        engine.match_bits(simple_filter(), corpus)
+        assert engine.stats()["workers"] is None
+
+
+# ---------------------------------------------------------------------------
+# transport session protocol
+# ---------------------------------------------------------------------------
+
+class TestSessionProtocol:
+    def test_drain_without_submit_rejected(self):
+        import pickle
+
+        transport = ForkPickleTransport(
+            num_workers=1, payload=pickle.dumps(simple_filter())
+        )
+        try:
+            with pytest.raises(ReproError):
+                transport.drain()
+        finally:
+            transport.close()
+
+    def test_context_manager_closes_slots(self):
+        import pickle
+
+        with SharedMemoryTransport(
+            num_workers=1, payload=pickle.dumps(comp.s("temperature", 1)),
+            chunk_bytes=1024,
+        ) as transport:
+            transport.submit([b'{"n":"temperature"}'])
+            matches, count = transport.drain()
+            assert count == 1
+            assert matches.tolist() == [True]
+            names = [slot.shm.name for slot in transport._slots]
+        # after close, the slots must be unlinked
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ReproError):
+            ForkPickleTransport(num_workers=0, payload=b"")
+
+
+class TestWorkerFunctions:
+    """The worker-side functions, driven in-process.
+
+    The pool tests above execute these in child processes (invisible
+    to coverage); here the same code paths run in the parent so the
+    slot wire format and the worker state machine are directly
+    verified.
+    """
+
+    def _init_worker(self, expr, backend="vectorized", snapshot=None):
+        import pickle
+
+        from repro.engine import transport as transport_module
+
+        transport_module._worker_init(
+            pickle.dumps(expr), backend, snapshot
+        )
+        return transport_module
+
+    def test_slot_roundtrip_preserves_records_and_stream(self, corpus):
+        from multiprocessing import shared_memory
+
+        from repro.engine.transport import (
+            _read_batch,
+            _write_batch,
+            batch_slot_bytes,
+        )
+
+        records = corpus.records[:40]
+        shm = shared_memory.SharedMemory(
+            create=True, size=batch_slot_bytes(records)
+        )
+        try:
+            _write_batch(shm.buf, records)
+            rebuilt = _read_batch(shm.buf)
+            assert rebuilt.records == records
+            assert rebuilt.stream.tobytes() == b"".join(
+                record + b"\n" for record in records
+            )
+            assert rebuilt.starts.tolist() == [
+                sum(len(r) + 1 for r in records[:i])
+                for i in range(len(records))
+            ]
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_worker_init_resolves_expression_and_counts(self):
+        transport_module = self._init_worker(simple_filter())
+        packed, count, stats = transport_module._task_pickled(
+            [b'{"e":[{"v":"30.0","n":"temperature"}]}',
+             b'{"e":[{"v":"99.0","n":"temperature"}]}']
+        )
+        import numpy as np
+
+        assert count == 2
+        assert np.unpackbits(packed, count=2).tolist() == [1, 0]
+        pid, chunks, records, hits, misses = stats
+        assert chunks == 1 and records == 2
+        assert hits == 0 and misses == 0  # no cache configured
+
+    def test_worker_cache_snapshot_serves_hits(self, corpus, payload):
+        """A worker initialised from a warm snapshot serves the same
+        chunk content without re-evaluating."""
+        expr = simple_filter()
+        cache = AtomCache()
+        warm = FilterEngine(chunk_bytes=1024, cache=cache)
+        _, want, _ = stream_all(warm, expr, payload)
+        transport_module = self._init_worker(
+            expr, snapshot=cache.snapshot()
+        )
+        framer_engine = FilterEngine(chunk_bytes=1024)
+        got = []
+        for batch in framer_engine.stream_file(
+            expr, io.BytesIO(payload)
+        ):
+            packed, count, stats = transport_module._task_pickled(
+                batch.records
+            )
+            import numpy as np
+
+            got.extend(
+                np.unpackbits(packed, count=count).astype(bool).tolist()
+            )
+        assert got == want
+        worker_cache = transport_module._WORKER["cache"]
+        assert worker_cache.hits > 0
+        assert worker_cache.misses == 0
+
+    def test_shared_task_equals_pickled_task(self, corpus):
+        from multiprocessing import shared_memory
+
+        from repro.engine.transport import _write_batch, batch_slot_bytes
+
+        records = corpus.records[:25]
+        transport_module = self._init_worker(simple_filter())
+        want = transport_module._task_pickled(records)[0].tolist()
+        shm = shared_memory.SharedMemory(
+            create=True, size=batch_slot_bytes(records)
+        )
+        try:
+            _write_batch(shm.buf, records)
+            got, count, _ = transport_module._task_shared(shm.name)
+            assert count == len(records)
+            assert got.tolist() == want
+            # the attachment is memoised per slot name
+            assert shm.name.lstrip("/") in {
+                name.lstrip("/")
+                for name in transport_module._WORKER["shm"]
+            }
+        finally:
+            for attached in transport_module._WORKER["shm"].values():
+                attached.close()
+            transport_module._WORKER["shm"].clear()
+            shm.close()
+            shm.unlink()
