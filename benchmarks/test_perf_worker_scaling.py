@@ -161,3 +161,105 @@ def test_worker_scaling_curve():
             f"4 cold workers only {best_cold_scaling:.2f}x over 1 "
             f"on a {cores}-core host"
         )
+
+
+def test_result_ring_vs_pickled_return():
+    """The pickle-free return leg: every fitting batch's result comes
+    back mapped from the shared result ring (zero pickled returns),
+    with the pickled-return transport measured alongside as the
+    baseline curve."""
+    payload = _corpus_payload()
+    expr = _expr()
+    rows = []
+    for transport in TRANSPORTS:
+        for workers in (2, 4):
+            engine = FilterEngine(
+                chunk_bytes=CHUNK_BYTES, num_workers=workers,
+                transport=transport,
+            )
+            seconds, last = _stream_seconds(engine, expr, payload)
+            stats = engine.stats()["workers"]
+            ring = stats.get("ring_results", 0)
+            rows.append([
+                transport, str(workers), f"{seconds:.3f}",
+                f"{len(payload) / seconds / 1e6:.1f}",
+                str(ring), str(stats["pickled_results"]),
+            ])
+            if transport == "shared-memory":
+                assert ring == stats["chunks"], (
+                    "ring did not carry every fitting result"
+                )
+                assert stats["pickled_results"] == 0
+                assert stats["fallback_batches"] == 0
+            else:
+                assert stats["pickled_results"] == stats["chunks"]
+    write_result(
+        "perf_result_ring",
+        render_table(
+            ["Transport", "Workers", "Seconds", "MB/s",
+             "Ring results", "Pickled results"],
+            rows,
+            title=(
+                f"Result return path over {len(payload)} bytes "
+                f"(chunk={CHUNK_BYTES})"
+            ),
+        ),
+    )
+
+
+def test_parallel_pass_warms_serial_reread():
+    """Merge-back payoff: a *cold parallel* first pass leaves the
+    parent AtomCache warm, so re-reading the corpus serially is served
+    from merged worker entries — the warm-pass behaviour that used to
+    require a serial first pass."""
+    payload = _corpus_payload()
+    expr = _expr()
+
+    cold_serial = FilterEngine(chunk_bytes=CHUNK_BYTES)
+    cold_seconds, cold_last = _stream_seconds(
+        cold_serial, expr, payload
+    )
+
+    cache = AtomCache()
+    parallel = FilterEngine(
+        chunk_bytes=CHUNK_BYTES, num_workers=2,
+        transport="shared-memory", cache=cache,
+    )
+    for _ in parallel.stream_file(expr, io.BytesIO(payload)):
+        pass
+    worker_stats = parallel.stats()["workers"]
+    assert worker_stats["merged_entries"] > 0
+
+    warm_serial = FilterEngine(chunk_bytes=CHUNK_BYTES, cache=cache)
+    hits_before, misses_before = cache.hits, cache.misses
+    warm_seconds, warm_last = _stream_seconds(
+        warm_serial, expr, payload
+    )
+    assert warm_last.records_seen == cold_last.records_seen
+    assert warm_last.accepted_seen == cold_last.accepted_seen
+    assert cache.hits > hits_before, (
+        "serial re-read not served from merged worker entries"
+    )
+    assert cache.misses == misses_before
+
+    write_result(
+        "perf_merge_back_warm_pass",
+        render_table(
+            ["Pass", "Seconds", "MB/s"],
+            [
+                ["cold serial", f"{cold_seconds:.3f}",
+                 f"{len(payload) / cold_seconds / 1e6:.1f}"],
+                ["serial after parallel merge-back",
+                 f"{warm_seconds:.3f}",
+                 f"{len(payload) / warm_seconds / 1e6:.1f}"],
+            ],
+            title=(
+                f"Merge-back warm pass over {len(payload)} bytes "
+                f"({worker_stats['merged_entries']} entries merged)"
+            ),
+        ),
+    )
+    assert warm_seconds < cold_seconds, (
+        f"warm re-read ({warm_seconds:.3f}s) not faster than the "
+        f"cold serial pass ({cold_seconds:.3f}s)"
+    )

@@ -341,6 +341,31 @@ def _bench_source(kind, ndjson, chunk_bytes):
         raise ReproError(f"unknown bench source {kind!r}")
 
 
+def _merge_back_line(engine, backend, repeat, previous_hit_rate):
+    """One per-pass merge-back summary line for parallel cached runs.
+
+    With ``--workers N --repeat M`` the interesting number is the
+    worker hit-rate *delta* between passes: pass 1 evaluates cold and
+    merges its masks back into the parent cache, later passes ship
+    that warm snapshot, so their hit rate should jump.
+    """
+    workers = engine.stats()["workers"]
+    if not workers or engine.atom_cache is None:
+        return []
+    lookups = workers["cache_hits"] + workers["cache_misses"]
+    hit_rate = workers["cache_hits"] / lookups if lookups else 0.0
+    line = (
+        f"merge-back [{backend} pass {repeat + 1}]: "
+        f"{workers['merged_entries']} entries merged from workers, "
+        f"worker hit rate {hit_rate:.1%}"
+    )
+    previous = previous_hit_rate.get(backend)
+    if previous is not None:
+        line += f" ({(hit_rate - previous) * 100:+.1f} pts vs previous)"
+    previous_hit_rate[backend] = hit_rate
+    return [line]
+
+
 def cmd_bench(args):
     expr = parse_filter_expression(args.expression)
     dataset = load_dataset(args.dataset, args.records, seed=args.seed)
@@ -351,6 +376,8 @@ def cmd_bench(args):
     backends = args.backends.split(",")
     engine = _engine_from_args(args)
     rows = []
+    merge_lines = []
+    previous_hit_rate = {}
     for backend in backends:
         for repeat in range(args.repeat):
             with _bench_source(
@@ -375,6 +402,9 @@ def cmd_bench(args):
                 f"{elapsed:.3f}",
                 f"{rate / 1e6:.1f}",
             ])
+            merge_lines += _merge_back_line(
+                engine, backend.strip(), repeat, previous_hit_rate
+            )
     print(render_table(
         ["Backend", "Records", "Accepted", "Seconds", "MB/s"],
         rows,
@@ -387,6 +417,8 @@ def cmd_bench(args):
             f"cache={'on' if engine.atom_cache is not None else 'off'})"
         ),
     ))
+    for line in merge_lines:
+        print(line, file=sys.stderr)
     _print_worker_stats(engine)
     _save_cache(args, engine)
     cache_stats = engine.stats()["cache"]

@@ -100,6 +100,9 @@ class AtomCache:
         self.misses = 0
         self.evictions = 0
         self.inserts = 0
+        #: when a list, :meth:`put` records every insert here (see
+        #: :meth:`track_deltas` — the worker merge-back mechanism)
+        self.delta_log = None
 
     # -- raw entry access ---------------------------------------------------
 
@@ -132,6 +135,8 @@ class AtomCache:
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.nbytes
             self.evictions += 1
+        if self.delta_log is not None:
+            self.delta_log.append((fingerprint, key, array))
         return array
 
     def __len__(self):
@@ -222,6 +227,48 @@ class AtomCache:
         for fingerprint, key, array in reversed(list(entries)):
             self.put(fingerprint, key, array)
         return self
+
+    def track_deltas(self):
+        """Start recording every subsequent insert as a delta entry.
+
+        Streaming workers call this right after loading the parent's
+        warm snapshot: everything :meth:`put` from then on is *newly
+        computed* state the parent does not have yet.
+        :meth:`pop_deltas` hands the recorded entries over (and resets
+        the log), so each entry ships back exactly once.
+        """
+        self.delta_log = []
+        return self
+
+    def pop_deltas(self):
+        """Return-and-reset the recorded delta entries (may be empty)."""
+        if self.delta_log is None:
+            return []
+        deltas, self.delta_log = self.delta_log, []
+        return deltas
+
+    def merge_snapshot(self, entries):
+        """Merge snapshot entries computed elsewhere into this cache.
+
+        The worker merge-back half of parallel streaming: entries are
+        ``(fingerprint, key, array)`` triples (the :meth:`snapshot` /
+        :meth:`pop_deltas` wire format).  Keys already present are
+        skipped — the fingerprint is a content hash, so an existing
+        entry under the same key is byte-equivalent and keeping it
+        preserves this cache's recency order (conflict-free by
+        construction).  New entries go through :meth:`put`, so the
+        LRU entry/byte bounds hold exactly as for local inserts.
+
+        Returns ``(merged, skipped)`` entry counts.
+        """
+        merged = skipped = 0
+        for fingerprint, key, array in entries:
+            if (fingerprint, key) in self._entries:
+                skipped += 1
+                continue
+            self.put(fingerprint, key, array)
+            merged += 1
+        return merged, skipped
 
     def save(self, path, max_bytes=None):
         """Spill the cache's entries to ``path`` (pickle format).

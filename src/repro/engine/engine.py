@@ -22,6 +22,7 @@ Two execution shapes:
 from __future__ import annotations
 
 import pickle
+import warnings
 
 import numpy as np
 
@@ -121,9 +122,42 @@ class FilterEngine:
                  chunk_bytes=DEFAULT_CHUNK_BYTES, num_workers=1,
                  config=None, cache=None, transport=DEFAULT_TRANSPORT,
                  mp_context=None):
+        if isinstance(backend, EngineConfig):
+            # FilterEngine(EngineConfig(...)) — the config is the
+            # natural first positional argument, not a backend name
+            if config is not None:
+                raise ReproError(
+                    "pass the EngineConfig positionally or as "
+                    "config=, not both"
+                )
+            config = backend
+            backend = "vectorized"
         if config is None:
             config = EngineConfig(backend, chunk_bytes, num_workers,
                                   transport, mp_context)
+        elif not isinstance(config, EngineConfig):
+            raise ReproError(
+                f"config must be an EngineConfig, got {config!r}"
+            )
+        else:
+            overridden = [
+                name for name, value, default in (
+                    ("backend", backend, "vectorized"),
+                    ("chunk_bytes", chunk_bytes, DEFAULT_CHUNK_BYTES),
+                    ("num_workers", num_workers, 1),
+                    ("transport", transport, DEFAULT_TRANSPORT),
+                    ("mp_context", mp_context, None),
+                )
+                if value != default
+            ]
+            if overridden:
+                # silently preferring one over the other would hide a
+                # misconfiguration; make the conflict loud instead
+                raise ReproError(
+                    "pass execution parameters through the "
+                    "EngineConfig, not alongside it: "
+                    + ", ".join(overridden)
+                )
         self.config = config
         #: shared AtomCache memoising per-(dataset, atom) masks across
         #: queries, streams and chunk batches; ``cache=True`` builds a
@@ -132,6 +166,9 @@ class FilterEngine:
         self._backends = {}
         #: per-worker counters of the most recent parallel stream
         self._worker_stats = None
+        #: why the most recent num_workers > 1 stream ran serially
+        self._parallel_fallback = None
+        self._fallback_warned = False
 
     # -- backend handling ---------------------------------------------------
 
@@ -207,9 +244,13 @@ class FilterEngine:
         """Engine observability: configuration, cache + worker counters.
 
         ``workers`` carries the per-worker counters (chunks/records
-        evaluated, cache hits/misses) of the most recent parallel
+        evaluated, cache hits/misses, result-ring vs pickled returns,
+        merged-back cache entries) of the most recent parallel
         stream — with ``num_workers > 1`` the serial-path cache
         counters alone would misrepresent where evaluation happened.
+        ``parallel_fallback`` is ``None`` unless the most recent
+        ``num_workers > 1`` stream had to run serially, in which case
+        it records why (e.g. an unpicklable predicate).
         """
         cache = self.atom_cache
         return {
@@ -220,6 +261,7 @@ class FilterEngine:
             "mp_context": self.config.mp_context,
             "cache": cache.stats() if cache is not None else None,
             "workers": self._worker_stats,
+            "parallel_fallback": self._parallel_fallback,
         }
 
     # -- chunked streaming --------------------------------------------------
@@ -228,7 +270,9 @@ class FilterEngine:
         """Yield :class:`StreamBatch` per framed chunk, bounded memory.
 
         ``chunks`` is anything :func:`as_chunk_source` accepts: a
-        :class:`ChunkSource`, raw bytes, a binary handle, a connected
+        :class:`ChunkSource`, raw bytes, a filesystem path
+        (``str``/``os.PathLike`` — opened by the source and closed at
+        stream end or abandonment), a binary handle, a connected
         socket, an async iterable, or any iterable of bytes-like
         chunks.  Records straddling chunk seams are reassembled by
         :class:`RecordFramer`; a missing trailing newline still yields
@@ -240,12 +284,17 @@ class FilterEngine:
         """
         source = as_chunk_source(chunks, self.config.chunk_bytes)
         if self.config.num_workers > 1:
+            self._parallel_fallback = None
             worker_payload = self._picklable_payload(predicate)
             if worker_payload is not None:
                 yield from self._stream_parallel(
                     predicate, source, backend, worker_payload
                 )
                 return
+            self._note_parallel_fallback(
+                "the predicate is not picklable, so it cannot be "
+                "shipped to worker processes; streaming serially"
+            )
         yield from self._stream_serial(predicate, source, backend)
 
     def stream_file(self, predicate, handle, backend=None):
@@ -310,6 +359,22 @@ class FilterEngine:
         except Exception:
             return None
 
+    def _note_parallel_fallback(self, reason):
+        """Record (and warn once per engine) a silent-serial downgrade."""
+        self._parallel_fallback = reason
+        # a previous parallel stream's counters would otherwise sit
+        # next to the fallback reason, implying this stream ran workers
+        self._worker_stats = None
+        if not self._fallback_warned:
+            self._fallback_warned = True
+            warnings.warn(
+                f"num_workers={self.config.num_workers} requested "
+                f"but {reason} (see engine.stats()"
+                f"['parallel_fallback'])",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     def _create_transport(self, backend_name, payload):
         transport_cls = resolve_transport(self.config.transport)
         cache_snapshot = None
@@ -324,6 +389,7 @@ class FilterEngine:
             mp_context=self.config.mp_context,
             cache_snapshot=cache_snapshot,
             chunk_bytes=self.config.chunk_bytes,
+            atom_cache=self.atom_cache,
         )
 
     def _stream_parallel(self, predicate, source, backend, payload):
@@ -332,6 +398,11 @@ class FilterEngine:
         )
         if not isinstance(backend_name, str):
             # backend instances cannot be shipped to workers reliably
+            self._note_parallel_fallback(
+                "a backend instance cannot be shipped to worker "
+                "processes (pass a backend name instead); "
+                "streaming serially"
+            )
             yield from self._stream_serial(predicate, source, backend)
             return
         transport = self._create_transport(backend_name, payload)
@@ -362,8 +433,11 @@ class FilterEngine:
             while transport.in_flight:
                 yield drain_one()
         finally:
-            self._worker_stats = transport.stats()
+            # worker-computed AtomCache deltas merged as each result
+            # drained (natural end and abandoned streams alike); the
+            # counters are captured once the pool is down
             transport.close()
+            self._worker_stats = transport.stats()
 
     # -- convenience --------------------------------------------------------
 

@@ -12,8 +12,9 @@ and the SoC simulations' dataset ingest — goes through this layer.
 Sources are iterables of bytes chunks and context managers; iterating
 updates :attr:`bytes_read`/:attr:`chunks_read` so ``stats()`` reflects
 exactly what was delivered.  :func:`as_chunk_source` normalises the
-engine's accepted inputs (source instances, raw byte strings, file-like
-handles, sockets, async iterables, plain iterables) into a source.
+engine's accepted inputs (source instances, raw byte strings,
+filesystem paths, file-like handles, sockets, async iterables, plain
+iterables) into a source.
 """
 
 from __future__ import annotations
@@ -139,11 +140,17 @@ class FileSource(ChunkSource):
             seekable = False
         if not seekable and hasattr(handle, "read1"):
             read = handle.read1
-        while True:
-            chunk = read(self.chunk_bytes)
-            if not chunk:
-                return
-            yield chunk
+        try:
+            while True:
+                chunk = read(self.chunk_bytes)
+                if not chunk:
+                    return
+                yield chunk
+        finally:
+            # a handle this source opened itself is closed as soon as
+            # the stream ends or is abandoned — path ingest never
+            # leaks a descriptor; caller-owned handles are untouched
+            self.close()
 
     def close(self):
         if self._owns_handle:
@@ -240,16 +247,25 @@ def as_chunk_source(obj, chunk_bytes=DEFAULT_SOURCE_CHUNK_BYTES):
     """Normalise any accepted ingest object into a :class:`ChunkSource`.
 
     * ``ChunkSource`` — passed through unchanged;
-    * ``bytes``/``bytearray``/``memoryview`` — a one-chunk source;
+    * ``bytes``/``bytearray``/``memoryview`` — a one-chunk source
+      (``bytes`` is always stream *data*, never a path);
+    * ``str``/``os.PathLike`` — a :class:`FileSource` over that path
+      (opened by the source, closed at stream end or abandonment);
     * binary file-like (has ``read``) — :class:`FileSource`;
     * ``socket.socket`` — :class:`SocketSource`;
     * async iterable — :class:`AsyncSource`;
     * any other iterable — :class:`IterableSource` over its chunks.
+
+    The path case matters: a ``str`` is iterable, so without it a path
+    would be consumed as 1-character text "chunks" and rejected (or
+    worse, corrupted) deep in framing instead of being opened.
     """
     if isinstance(obj, ChunkSource):
         return obj
     if isinstance(obj, (bytes, bytearray, memoryview)):
         return IterableSource([obj])
+    if isinstance(obj, str) or hasattr(obj, "__fspath__"):
+        return FileSource(obj, chunk_bytes)
     if isinstance(obj, socket_module.socket):
         return SocketSource(obj, chunk_bytes)
     if hasattr(obj, "read"):

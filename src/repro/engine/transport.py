@@ -12,7 +12,15 @@ the worker starts with — is this layer's concern:
   terminated stream bytes + record-boundary offsets); workers map the
   slot and rebuild the record batch with **no pickle on the payload
   path**, reconstructing the engine-batch ``Dataset`` (stream + starts)
-  directly from the shared buffer.  Only packed match bits travel back.
+  directly from the shared buffer.  The same slots form the **result
+  ring**: once a worker has copied the batch out, it overwrites the
+  slot with a result frame — raw packed match bits, its cumulative
+  counters and any newly computed AtomCache delta — and sends only a
+  ``None`` sentinel through the pool's result pipe, so the payload is
+  pickle-free in *both* directions.  A result frame that cannot fit
+  its slot (or a batch that rode the pickled request fallback) returns
+  through the pipe instead; ``stats()`` separates ``ring_results``
+  from ``pickled_results``.
 
 Both transports initialise every worker once with the pickled
 predicate, the backend name and — when the owning engine carries an
@@ -20,6 +28,13 @@ predicate, the backend name and — when the owning engine carries an
 so parallel streaming no longer evaluates cold: chunks whose content the
 parent has already evaluated are served from the worker's cache, and
 per-worker hit/miss/chunk counters flow back into ``engine.stats()``.
+Workers also track the entries they compute *beyond* the snapshot
+(:meth:`AtomCache.track_deltas`); each result carries that delta, and
+the parent merges it into its own cache as the result drains
+(:meth:`AtomCache.merge_snapshot`, bounded by the cache's LRU/byte
+caps), so a parallel first pass warms later serial passes,
+``DesignSpace`` sweeps and ``--cache-file`` spills exactly like a
+serial pass does.
 
 The multiprocessing start method is an explicit engine parameter
 (``EngineConfig(mp_context=...)``), resolved by
@@ -97,6 +112,9 @@ def _worker_init(payload, backend_name, cache_snapshot):
     if cache_snapshot is not None:
         cache = AtomCache()
         cache.load_snapshot(cache_snapshot)
+        # everything inserted past this point is state the parent does
+        # not have yet — each result ships it back for merge_snapshot()
+        cache.track_deltas()
         if isinstance(backend, VectorizedBackend):
             backend.atom_cache = cache
     if isinstance(backend, VectorizedBackend):
@@ -129,8 +147,13 @@ def _evaluate(records):
     bits = _WORKER["backend"].match_bits(_WORKER["predicate"], records)
     _WORKER["chunks"] += 1
     _WORKER["records"] += len(records)
-    return np.packbits(np.asarray(bits, dtype=bool)), len(records), (
-        _worker_stats()
+    cache = _WORKER.get("cache")
+    delta = cache.pop_deltas() if cache is not None else []
+    return (
+        np.packbits(np.asarray(bits, dtype=bool)),
+        len(records),
+        _worker_stats(),
+        delta,
     )
 
 
@@ -212,8 +235,77 @@ def _read_batch(buf):
     return dataset
 
 
+# -- result frames (the return leg of the shared-memory ring) ----------------
+#
+# After evaluating a batch the worker no longer needs the request data
+# (``_read_batch`` copies the payload out of the slot), so the same slot
+# doubles as the result slot: the worker overwrites it with a fixed
+# int64 header (record count, packed-bit bytes, delta bytes, plus the
+# five per-worker counters), the raw packed match bits, and — when an
+# AtomCache delta rides along — the delta entries as a pickled blob
+# *inside the slot*.  The match-bit payload is raw bytes in both
+# directions; only a ``None`` completion sentinel crosses the pipe.
+
+_RESULT_HEADER_WORDS = 8
+# (count, packed bytes, delta bytes, pid, chunks, records, hits, misses)
+_RESULT_HEADER_BYTES = _RESULT_HEADER_WORDS * 8
+
+
+def _write_result(buf, packed, count, stats, delta):
+    """Serialise one evaluation result into a slot buffer.
+
+    Returns ``False`` (slot untouched beyond the copied-out request)
+    when the frame does not fit — the caller then returns the result
+    through the pickled pipe instead, so slot capacity never affects
+    correctness.
+    """
+    delta_blob = (
+        pickle.dumps(delta, protocol=pickle.HIGHEST_PROTOCOL)
+        if delta else b""
+    )
+    packed_bytes = int(packed.nbytes)
+    needed = _RESULT_HEADER_BYTES + packed_bytes + len(delta_blob)
+    if needed > len(buf):
+        return False
+    header = np.frombuffer(
+        buf, dtype=np.int64, count=_RESULT_HEADER_WORDS
+    )
+    header[:3] = (count, packed_bytes, len(delta_blob))
+    header[3:] = stats
+    start = _RESULT_HEADER_BYTES
+    buf[start:start + packed_bytes] = packed.tobytes()
+    if delta_blob:
+        buf[start + packed_bytes:start + packed_bytes
+            + len(delta_blob)] = delta_blob
+    return True
+
+
+def _read_result(buf):
+    """Rebuild an evaluation result from a slot's result frame."""
+    header = np.frombuffer(
+        buf, dtype=np.int64, count=_RESULT_HEADER_WORDS
+    )
+    count, packed_bytes, delta_bytes = (int(x) for x in header[:3])
+    stats = tuple(int(x) for x in header[3:])
+    start = _RESULT_HEADER_BYTES
+    packed = np.frombuffer(
+        bytes(buf[start:start + packed_bytes]), dtype=np.uint8
+    )
+    delta = []
+    if delta_bytes:
+        delta = pickle.loads(
+            bytes(buf[start + packed_bytes:start + packed_bytes
+                      + delta_bytes])
+        )
+    return packed, count, stats, delta
+
+
 def _task_shared(slot_name):
-    return _evaluate(_read_batch(_attach_slot(slot_name).buf))
+    buf = _attach_slot(slot_name).buf
+    result = _evaluate(_read_batch(buf))
+    if _write_result(buf, *result):
+        return None  # result frame is in the slot, nothing to pickle
+    return result
 
 
 def _unpack_bits(packed, count):
@@ -231,13 +323,21 @@ class WorkerTransport:
     framed batch, :meth:`drain` returns results strictly in submission
     order, :meth:`close` tears the pool down.  ``stats()`` aggregates
     the per-worker counters observed on results so far.
+
+    When ``atom_cache`` is the parent's cache, the AtomCache deltas
+    riding on drained results merge back into it incrementally as
+    :meth:`drain` returns them (the cache's own LRU/byte bounds cap
+    the resident footprint, so arbitrarily long streams stay
+    bounded).  Natural stream end and an abandoned stream generator
+    behave identically: every batch drained before :meth:`close` has
+    already merged, so its worker-computed masks survive the pool.
     """
 
     name = "?"
 
     def __init__(self, num_workers, payload, backend_name="vectorized",
                  mp_context=None, cache_snapshot=None,
-                 chunk_bytes=1 << 20):
+                 chunk_bytes=1 << 20, atom_cache=None):
         if num_workers <= 0:
             raise ReproError("num_workers must be positive")
         self.num_workers = num_workers
@@ -245,6 +345,16 @@ class WorkerTransport:
         #: chunks the engine may keep in flight before draining
         self.max_in_flight = 2 * num_workers
         self.context = resolve_mp_context(mp_context)
+        #: parent cache receiving worker-computed deltas as results
+        #: drain
+        self.atom_cache = atom_cache
+        #: delta entries received from workers on drained results
+        self.delta_entries = 0
+        #: entries merged into / skipped by the parent cache on close()
+        self.merged_entries = 0
+        self.merge_skipped = 0
+        #: results that returned through the pool's pickled pipe
+        self.pickled_results = 0
         self._pending = []
         self._worker_stats = {}
         self._setup()
@@ -275,7 +385,7 @@ class WorkerTransport:
         if not self._pending:
             raise ReproError("no batch in flight to drain")
         handle = self._pending.pop(0)
-        packed, count, stats = self._collect(handle)
+        packed, count, stats, delta = self._collect(handle)
         pid, chunks, records, hits, misses = stats
         self._worker_stats[pid] = {
             "chunks": chunks,
@@ -283,9 +393,18 @@ class WorkerTransport:
             "cache_hits": hits,
             "cache_misses": misses,
         }
+        if delta:
+            self.delta_entries += len(delta)
+            if self.atom_cache is not None:
+                # merge as results drain, not buffered until close():
+                # the parent cache's own LRU/byte bounds then cap the
+                # resident footprint, preserving bounded-memory
+                # streaming however long the stream runs
+                self._merge_entries(delta)
         return _unpack_bits(packed, count), count
 
     def _collect(self, handle):
+        self.pickled_results += 1
         return handle.get()
 
     def stats(self):
@@ -306,8 +425,23 @@ class WorkerTransport:
             "cache_misses": sum(
                 w["cache_misses"] for w in workers.values()
             ),
+            "pickled_results": self.pickled_results,
+            "delta_entries": self.delta_entries,
+            "merged_entries": self.merged_entries,
+            "merge_skipped": self.merge_skipped,
             "workers": workers,
         }
+
+    def _merge_entries(self, entries):
+        """Merge one result's delta into the parent's AtomCache.
+
+        Entries whose key the parent computed itself in the meantime
+        are skipped: the content fingerprint in the key guarantees
+        they are byte-equivalent, so nothing is lost.
+        """
+        merged, skipped = self.atom_cache.merge_snapshot(entries)
+        self.merged_entries += merged
+        self.merge_skipped += skipped
 
     def close(self):
         self._pool.terminate()
@@ -353,8 +487,13 @@ class SharedMemoryTransport(WorkerTransport):
     One slot per possible in-flight chunk; the parent writes the
     newline-terminated payload plus an ``int64`` record-boundary array
     into a free slot and sends only the slot name through the task
-    pipe.  A batch that does not fit its slot (for instance a single
-    record far larger than ``chunk_bytes``) transparently falls back to
+    pipe.  The worker copies the batch out, then reuses the same slot
+    as its **result slot** (:func:`_write_result`): packed match bits,
+    per-worker counters and any AtomCache delta come back mapped from
+    shared memory, with only a ``None`` sentinel crossing the pipe —
+    the pickle-free round trip.  A batch that does not fit its slot
+    (for instance a single record far larger than ``chunk_bytes``) or
+    a result frame that outgrows the slot transparently falls back to
     the pickled path — correctness never depends on slot capacity.
     """
 
@@ -368,9 +507,11 @@ class SharedMemoryTransport(WorkerTransport):
         from multiprocessing import shared_memory
 
         self.slot_bytes = 2 * self.chunk_bytes + self.SLOT_SLACK_BYTES
+        #: ring size; stable across close() (the slot list is not)
+        self.num_slots = 2 * self.num_workers
         self._slots = []
         self._free = []
-        for index in range(2 * self.num_workers):
+        for index in range(self.num_slots):
             shm = shared_memory.SharedMemory(
                 create=True, size=self.slot_bytes
             )
@@ -379,6 +520,8 @@ class SharedMemoryTransport(WorkerTransport):
             self._free.append(slot)
         #: batches that exceeded slot capacity and went over pickle
         self.fallback_batches = 0
+        #: results mapped directly from the shared result ring
+        self.ring_results = 0
 
     def _dispatch(self, records):
         records = list(records)
@@ -399,16 +542,24 @@ class SharedMemoryTransport(WorkerTransport):
     def _collect(self, handle):
         slot, result = handle
         try:
-            return result.get()
+            value = result.get()
+            if value is None:
+                # the worker left its result frame in the slot; map it
+                # out before the finally clause recycles the slot
+                self.ring_results += 1
+                return _read_result(slot.shm.buf)
+            self.pickled_results += 1
+            return value
         finally:
             if slot is not None:
                 self._free.append(slot)
 
     def stats(self):
         stats = super().stats()
-        stats["slots"] = len(self._slots)
+        stats["slots"] = self.num_slots
         stats["slot_bytes"] = self.slot_bytes
         stats["fallback_batches"] = self.fallback_batches
+        stats["ring_results"] = self.ring_results
         return stats
 
     def close(self):

@@ -384,3 +384,75 @@ class TestSnapshots:
         path.write_bytes(pickle.dumps({"something": "else"}))
         with pytest.raises(ReproError):
             AtomCache.from_file(path)
+
+
+class TestMergeSnapshot:
+    """Worker merge-back policy (AtomCache.merge_snapshot)."""
+
+    def test_merges_new_entries_and_reports_counts(self):
+        cache = AtomCache()
+        entries = [
+            ((1, b"fp"), "a", np.array([1, 0], dtype=bool)),
+            ((1, b"fp"), "b", np.array([0, 1], dtype=bool)),
+        ]
+        merged, skipped = cache.merge_snapshot(entries)
+        assert (merged, skipped) == (2, 0)
+        assert len(cache) == 2
+        assert cache.lookup((1, b"fp"), "a").tolist() == [True, False]
+
+    def test_conflicting_keys_keep_the_existing_entry(self):
+        """Keys embed a content fingerprint, so a conflict means
+        byte-equivalent data: the resident entry (and its recency)
+        wins, and nothing is recomputed or overwritten."""
+        cache = AtomCache()
+        resident = cache.put((1, b"fp"), "a", np.array([1, 0]))
+        cache.put((1, b"fp"), "newer", np.array([0, 0]))
+        merged, skipped = cache.merge_snapshot(
+            [((1, b"fp"), "a", np.array([1, 0]))]
+        )
+        assert (merged, skipped) == (0, 1)
+        assert cache.lookup((1, b"fp"), "a") is resident
+        # recency order unchanged: "a" was not re-inserted as MRU
+        assert [key for _, key in cache._entries] == ["newer", "a"]
+
+    def test_merge_respects_entry_bound(self):
+        cache = AtomCache(max_entries=2)
+        entries = [
+            ((1, b"fp"), f"atom-{i}", np.zeros(4, dtype=bool))
+            for i in range(5)
+        ]
+        merged, skipped = cache.merge_snapshot(entries)
+        assert merged == 5 and skipped == 0
+        assert len(cache) == 2
+        assert cache.evictions == 3
+
+    def test_merge_respects_byte_bound(self):
+        cache = AtomCache(max_bytes=2048)
+        entries = [
+            ((1, b"fp"), f"atom-{i}", np.zeros(1024, dtype=np.uint8))
+            for i in range(4)
+        ]
+        cache.merge_snapshot(entries)
+        assert cache.nbytes <= 2048
+        assert cache.evictions == 2
+
+    def test_delta_log_records_only_new_inserts(self):
+        cache = AtomCache()
+        cache.load_snapshot(
+            [((1, b"fp"), "warm", np.array([1], dtype=bool))]
+        )
+        cache.track_deltas()
+        assert cache.pop_deltas() == []  # snapshot loads don't count
+        cache.put((2, b"fp"), "fresh", np.array([0], dtype=bool))
+        deltas = cache.pop_deltas()
+        assert [(f, k) for f, k, _ in deltas] == [((2, b"fp"), "fresh")]
+        assert cache.pop_deltas() == []  # consumed exactly once
+        # deltas merged into another cache serve the same array
+        other = AtomCache()
+        other.merge_snapshot(deltas)
+        assert other.lookup((2, b"fp"), "fresh").tolist() == [False]
+
+    def test_pop_deltas_without_tracking_is_empty(self):
+        cache = AtomCache()
+        cache.put((1, b"fp"), "a", np.array([1]))
+        assert cache.pop_deltas() == []

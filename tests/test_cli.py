@@ -252,6 +252,30 @@ class TestIngestAndTransportOptions:
         assert code == 0
         assert f"source={source}" in capsys.readouterr().out
 
+    def test_bench_repeat_reports_merge_back_delta(self, capsys):
+        """Parallel cached bench passes report the merge-back effect:
+        pass 1 merges worker masks, pass 2 runs on them."""
+        code = main([
+            "bench", "s:1:temperature",
+            "--records", "120", "--backends", "vectorized",
+            "--workers", "2", "--transport", "shared-memory",
+            "--chunk-bytes", "2048", "--repeat", "2",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "merge-back [vectorized pass 1]" in err
+        assert "entries merged from workers" in err
+        assert "pts vs previous" in err
+
+    def test_bench_serial_has_no_merge_back_lines(self, capsys):
+        code = main([
+            "bench", "s:1:temperature",
+            "--records", "60", "--backends", "vectorized",
+            "--repeat", "2",
+        ])
+        assert code == 0
+        assert "merge-back" not in capsys.readouterr().err
+
     def test_bench_cache_file_warm_restart(self, tmp_path, capsys):
         spill = tmp_path / "atoms.pkl"
         for _ in range(2):

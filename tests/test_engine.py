@@ -412,10 +412,129 @@ class TestParallelStreaming:
             backend="scalar", chunk_bytes=8, num_workers=2
         )
         payload = b'{"x":1}\n{"y":2}\n{"x":3}\n'
-        accepted = list(
-            engine.filter_stream(LocalPredicate(), [payload])
-        )
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            accepted = list(
+                engine.filter_stream(LocalPredicate(), [payload])
+            )
         assert accepted == [b'{"x":1}', b'{"x":3}']
+
+    def test_fallback_reason_recorded_and_warned_once(self):
+        class LocalPredicate:
+            def matches(self, record):
+                return True
+
+        engine = FilterEngine(chunk_bytes=8, num_workers=2)
+        payload = b'{"x":1}\n'
+        with pytest.warns(RuntimeWarning, match="parallel_fallback"):
+            list(engine.filter_stream(LocalPredicate(), [payload]))
+        reason = engine.stats()["parallel_fallback"]
+        assert reason is not None and "picklable" in reason
+        assert engine.stats()["workers"] is None
+        # the warning fires once per engine, the reason stays current
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            list(engine.filter_stream(LocalPredicate(), [payload]))
+        assert caught == []
+        assert engine.stats()["parallel_fallback"] == reason
+
+    def test_backend_instance_fallback_is_reported(self):
+        engine = FilterEngine(chunk_bytes=64, num_workers=2)
+        payload = b'{"n":"temperature","v":"1.0"}\n'
+        with pytest.warns(RuntimeWarning, match="backend instance"):
+            batches = list(
+                engine.stream(simple_filter(), [payload],
+                              backend=ScalarBackend())
+            )
+        assert batches[0].matches.tolist() == [True]
+        assert "backend instance" in (
+            engine.stats()["parallel_fallback"]
+        )
+
+    def test_successful_parallel_stream_clears_fallback_reason(self):
+        class LocalPredicate:
+            def matches(self, record):
+                return True
+
+        engine = FilterEngine(chunk_bytes=64, num_workers=2)
+        payload = b'{"n":"temperature","v":"1.0"}\n'
+        with pytest.warns(RuntimeWarning):
+            list(engine.filter_stream(LocalPredicate(), [payload]))
+        assert engine.stats()["parallel_fallback"] is not None
+        list(engine.stream(simple_filter(), [payload]))
+        assert engine.stats()["parallel_fallback"] is None
+        assert engine.stats()["workers"] is not None
+
+    def test_serial_engine_never_reports_fallback(self):
+        engine = FilterEngine(chunk_bytes=64)
+        payload = b'{"n":"temperature","v":"1.0"}\n'
+        list(engine.stream(simple_filter(), [payload]))
+        assert engine.stats()["parallel_fallback"] is None
+
+    def test_fallback_clears_stale_worker_stats(self):
+        """A fallback stream must not leave the previous parallel
+        stream's worker counters next to its fallback reason."""
+
+        class LocalPredicate:
+            def matches(self, record):
+                return True
+
+        engine = FilterEngine(chunk_bytes=64, num_workers=2)
+        payload = b'{"n":"temperature","v":"1.0"}\n'
+        list(engine.stream(simple_filter(), [payload]))
+        assert engine.stats()["workers"] is not None
+        with pytest.warns(RuntimeWarning):
+            list(engine.filter_stream(LocalPredicate(), [payload]))
+        stats = engine.stats()
+        assert stats["parallel_fallback"] is not None
+        assert stats["workers"] is None
+
+
+class TestEngineConfigArgument:
+    def test_config_as_first_positional(self):
+        config = EngineConfig(backend="scalar", chunk_bytes=4096,
+                              num_workers=2)
+        engine = FilterEngine(config)
+        assert engine.config is config
+        assert engine.config.backend == "scalar"
+        assert engine.config.chunk_bytes == 4096
+
+    def test_config_keyword_still_works(self):
+        config = EngineConfig(chunk_bytes=2048)
+        engine = FilterEngine(config=config)
+        assert engine.config is config
+
+    def test_positional_and_keyword_config_rejected(self):
+        with pytest.raises(ReproError, match="not both"):
+            FilterEngine(EngineConfig(), config=EngineConfig())
+
+    def test_non_config_keyword_rejected_clearly(self):
+        with pytest.raises(ReproError, match="EngineConfig"):
+            FilterEngine(config=42)
+
+    def test_tuning_kwargs_alongside_config_rejected(self):
+        """Mixing a config object with loose execution kwargs would
+        silently drop one of them — refuse loudly instead."""
+        with pytest.raises(ReproError, match="num_workers"):
+            FilterEngine(EngineConfig(backend="scalar"), num_workers=4)
+        with pytest.raises(ReproError, match="transport"):
+            FilterEngine(config=EngineConfig(),
+                         transport="shared-memory")
+        # cache is engine state, not an EngineConfig parameter
+        engine = FilterEngine(EngineConfig(chunk_bytes=2048),
+                              cache=True)
+        assert engine.atom_cache is not None
+
+    def test_config_engine_streams(self):
+        engine = FilterEngine(EngineConfig(chunk_bytes=64))
+        payload = b'{"n":"temperature","v":"1.0"}\n{"n":"x"}\n'
+        matches = [
+            m
+            for batch in engine.stream(simple_filter(), [payload])
+            for m in batch.matches.tolist()
+        ]
+        assert matches == [True, False]
 
 
 # ---------------------------------------------------------------------------

@@ -222,6 +222,76 @@ class TestAsChunkSource:
             list(ChunkSource())
 
 
+class TestPathIngest:
+    """str / os.PathLike inputs open as FileSources (regression: a
+    path string used to be consumed as an iterable of 1-character
+    text "chunks" and rejected deep in framing)."""
+
+    @pytest.fixture()
+    def ndjson_path(self, tmp_path, payload):
+        path = tmp_path / "corpus.ndjson"
+        path.write_bytes(payload)
+        return path
+
+    def test_str_path_dispatches_to_file_source(self, ndjson_path,
+                                                payload):
+        source = as_chunk_source(str(ndjson_path), chunk_bytes=256)
+        assert isinstance(source, FileSource)
+        assert b"".join(source) == payload
+        assert source.stats()["bytes_read"] == len(payload)
+
+    def test_pathlike_dispatches_to_file_source(self, ndjson_path,
+                                                payload):
+        source = as_chunk_source(ndjson_path)
+        assert isinstance(source, FileSource)
+        assert b"".join(source) == payload
+
+    def test_bytes_stay_stream_data_not_paths(self):
+        """b"..." is always chunk data; only str/PathLike are paths."""
+        source = as_chunk_source(b"not/a/path")
+        assert isinstance(source, IterableSource)
+        assert list(source) == [b"not/a/path"]
+
+    def test_stream_accepts_a_path_and_closes_it(self, corpus,
+                                                 ndjson_path):
+        engine = FilterEngine(chunk_bytes=512)
+        reference = engine.match_bits(simple_filter(), corpus)
+        matches = []
+        for batch in engine.stream(simple_filter(), str(ndjson_path)):
+            matches.extend(batch.matches.tolist())
+        assert matches == reference.tolist()
+
+    def test_path_source_closes_handle_at_stream_end(self,
+                                                     ndjson_path):
+        source = as_chunk_source(str(ndjson_path))
+        for _ in source:
+            pass
+        assert source._handle.closed
+
+    def test_abandoned_path_stream_closes_handle(self, ndjson_path):
+        engine = FilterEngine(chunk_bytes=64)
+        source = as_chunk_source(str(ndjson_path), chunk_bytes=64)
+        stream = engine.stream(simple_filter(), source)
+        next(stream)
+        stream.close()
+        assert source._handle.closed
+
+    def test_ingest_dataset_from_path(self, corpus, ndjson_path):
+        dataset = ingest_dataset(str(ndjson_path), name="from-path")
+        assert dataset.records == corpus.records
+
+    def test_engine_and_soc_ingest_paths(self, corpus, ndjson_path):
+        engine = FilterEngine(chunk_bytes=128)
+        assert engine.ingest(ndjson_path).records == corpus.records
+        from repro.system import RawFilterSoC
+
+        soc = RawFilterSoC(simple_filter())
+        report = soc.run(str(ndjson_path))
+        reference = soc.run(corpus)
+        assert report.total_bytes == reference.total_bytes
+        assert report.matches.tolist() == reference.matches.tolist()
+
+
 class TestIngest:
     def test_ingest_dataset_from_chunks(self, corpus, payload):
         dataset = ingest_dataset(

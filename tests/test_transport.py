@@ -246,6 +246,195 @@ class TestWarmWorkers:
 
 
 # ---------------------------------------------------------------------------
+# result ring: the pickle-free return path
+# ---------------------------------------------------------------------------
+
+class TestResultRing:
+    @pytest.mark.parametrize("chunk_bytes", [256, 1024, 8192])
+    def test_ring_differential_vs_fork_pickle(self, corpus, payload,
+                                              chunk_bytes):
+        """Shared-memory ring results are bit-identical to pickled
+        returns at every chunk size, and every fitting batch's result
+        comes back through the ring, not the pipe."""
+        expr = simple_filter()
+        pickled = FilterEngine(
+            chunk_bytes=chunk_bytes, num_workers=2,
+            transport="fork-pickle",
+        )
+        ring = FilterEngine(
+            chunk_bytes=chunk_bytes, num_workers=2,
+            transport="shared-memory",
+        )
+        want_records, want_matches, want_last = stream_all(
+            pickled, expr, payload
+        )
+        got_records, got_matches, got_last = stream_all(
+            ring, expr, payload
+        )
+        assert got_records == want_records
+        assert got_matches == want_matches
+        assert got_last.accepted_seen == want_last.accepted_seen
+        workers = ring.stats()["workers"]
+        assert workers["ring_results"] == workers["chunks"]
+        assert workers["pickled_results"] == 0
+        assert workers["fallback_batches"] == 0
+        baseline = pickled.stats()["workers"]
+        assert baseline["pickled_results"] == baseline["chunks"]
+
+    @pytest.mark.parametrize("transport", ["fork-pickle",
+                                           "shared-memory"])
+    def test_ring_differential_under_spawn(self, corpus, payload,
+                                           transport):
+        expr = simple_filter()
+        serial = FilterEngine(chunk_bytes=2048)
+        _, want, _ = stream_all(serial, expr, payload)
+        engine = FilterEngine(
+            chunk_bytes=2048, num_workers=2, transport=transport,
+            mp_context="spawn",
+        )
+        _, got, _ = stream_all(engine, expr, payload)
+        assert got == want
+        workers = engine.stats()["workers"]
+        assert workers["mp_context"] == "spawn"
+        if transport == "shared-memory":
+            assert workers["ring_results"] == workers["chunks"]
+            assert workers["pickled_results"] == 0
+
+    def test_fallback_batches_return_pickled(self):
+        """A batch that rode the pickled request fallback also returns
+        its result through the pipe — and is counted as such."""
+        big = b'{"blob":"' + b"y" * (1 << 17) + b'","n":"temp"}'
+        rows = [b'{"n":"temperature","v":"1.0"}'] * 20
+        payload = b"\n".join(rows[:10]) + b"\n" + big + b"\n" + (
+            b"\n".join(rows[10:]) + b"\n"
+        )
+        engine = FilterEngine(
+            chunk_bytes=128, num_workers=2, transport="shared-memory"
+        )
+        stream_all(engine, comp.s("temperature", 1), payload)
+        workers = engine.stats()["workers"]
+        assert workers["fallback_batches"] >= 1
+        assert workers["pickled_results"] >= workers["fallback_batches"]
+        assert workers["ring_results"] + workers["pickled_results"] == (
+            workers["chunks"]
+        )
+
+
+# ---------------------------------------------------------------------------
+# AtomCache merge-back: a parallel pass warms later passes
+# ---------------------------------------------------------------------------
+
+class TestMergeBack:
+    @pytest.mark.parametrize("transport", ["fork-pickle",
+                                           "shared-memory"])
+    def test_parallel_pass_warms_serial_repass(self, corpus, payload,
+                                               transport):
+        """The acceptance bar: a *cold parallel* first pass leaves the
+        parent cache warm enough that a second serial pass over the
+        same corpus is served entirely from merged worker entries."""
+        expr = simple_filter()
+        cache = AtomCache()
+        parallel = FilterEngine(
+            chunk_bytes=1024, num_workers=2, transport=transport,
+            cache=cache,
+        )
+        _, want, _ = stream_all(parallel, expr, payload)
+        workers = parallel.stats()["workers"]
+        assert workers["merged_entries"] > 0
+        assert workers["delta_entries"] >= workers["merged_entries"]
+        assert len(cache) == workers["merged_entries"]
+
+        serial = FilterEngine(chunk_bytes=1024, cache=cache)
+        hits_before, misses_before = cache.hits, cache.misses
+        _, got, _ = stream_all(serial, expr, payload)
+        assert got == want
+        assert cache.hits > hits_before
+        assert cache.misses == misses_before
+
+    def test_warm_workers_ship_no_deltas(self, corpus, payload):
+        """Fully warm workers compute nothing new — so nothing rides
+        back and the merge is a no-op."""
+        expr = simple_filter()
+        cache = AtomCache()
+        warm = FilterEngine(chunk_bytes=1024, cache=cache)
+        stream_all(warm, expr, payload)
+        parallel = FilterEngine(
+            chunk_bytes=1024, num_workers=2,
+            transport="shared-memory", cache=cache,
+        )
+        stream_all(parallel, expr, payload)
+        workers = parallel.stats()["workers"]
+        assert workers["cache_misses"] == 0
+        assert workers["delta_entries"] == 0
+        assert workers["merged_entries"] == 0
+
+    def test_deltas_merge_incrementally_not_buffered(self, corpus,
+                                                     payload):
+        """Deltas fold into the parent cache as results drain — the
+        resident footprint is capped by the cache's own bounds, not by
+        stream length (bounded-memory streaming holds for parallel
+        cached runs)."""
+        expr = simple_filter()
+        cache = AtomCache()
+        engine = FilterEngine(
+            chunk_bytes=256, num_workers=2,
+            transport="shared-memory", cache=cache,
+        )
+        mid_stream_entries = 0
+        for batch in engine.stream_file(expr, io.BytesIO(payload)):
+            if batch.index == 10:
+                mid_stream_entries = len(cache)
+        assert mid_stream_entries > 0, (
+            "no entries merged before stream end"
+        )
+
+    def test_merge_after_abandoned_stream(self, corpus, payload):
+        """Closing a half-consumed parallel stream generator still
+        merges the drained batches' deltas (engine finally -> close)."""
+        expr = simple_filter()
+        cache = AtomCache()
+        engine = FilterEngine(
+            chunk_bytes=512, num_workers=2,
+            transport="shared-memory", cache=cache,
+        )
+        stream = engine.stream_file(expr, io.BytesIO(payload))
+        for _ in range(3):
+            next(stream)
+        stream.close()
+        workers = engine.stats()["workers"]
+        assert workers["merged_entries"] > 0
+        assert len(cache) == workers["merged_entries"]
+
+    def test_merge_skips_entries_the_parent_already_has(self):
+        """Deltas whose key landed in the parent cache in the meantime
+        are skipped, preserving the parent's entry and recency."""
+        import pickle as pickle_module
+
+        import numpy as np
+
+        cache = AtomCache()
+        fingerprint = (3, b"digest")
+        kept = cache.put(fingerprint, "atom-a", np.array([1, 0, 1]))
+        transport = ForkPickleTransport(
+            num_workers=1,
+            payload=pickle_module.dumps(simple_filter()),
+            atom_cache=cache,
+        )
+        try:
+            # the per-result merge step drain() runs on each delta
+            transport._merge_entries([
+                (fingerprint, "atom-a", np.array([1, 0, 1])),
+                (fingerprint, "atom-b", np.array([0, 1, 0])),
+            ])
+        finally:
+            transport.close()
+        assert transport.merged_entries == 1
+        assert transport.merge_skipped == 1
+        assert cache.lookup(fingerprint, "atom-a") is kept
+        assert transport.stats()["merged_entries"] == 1
+
+
+# ---------------------------------------------------------------------------
 # transport session protocol
 # ---------------------------------------------------------------------------
 
@@ -335,7 +524,7 @@ class TestWorkerFunctions:
 
     def test_worker_init_resolves_expression_and_counts(self):
         transport_module = self._init_worker(simple_filter())
-        packed, count, stats = transport_module._task_pickled(
+        packed, count, stats, delta = transport_module._task_pickled(
             [b'{"e":[{"v":"30.0","n":"temperature"}]}',
              b'{"e":[{"v":"99.0","n":"temperature"}]}']
         )
@@ -346,6 +535,7 @@ class TestWorkerFunctions:
         pid, chunks, records, hits, misses = stats
         assert chunks == 1 and records == 2
         assert hits == 0 and misses == 0  # no cache configured
+        assert delta == []  # no cache, nothing to merge back
 
     def test_worker_cache_snapshot_serves_hits(self, corpus, payload):
         """A worker initialised from a warm snapshot serves the same
@@ -359,12 +549,14 @@ class TestWorkerFunctions:
         )
         framer_engine = FilterEngine(chunk_bytes=1024)
         got = []
+        deltas = []
         for batch in framer_engine.stream_file(
             expr, io.BytesIO(payload)
         ):
-            packed, count, stats = transport_module._task_pickled(
-                batch.records
+            packed, count, stats, delta = (
+                transport_module._task_pickled(batch.records)
             )
+            deltas.extend(delta)
             import numpy as np
 
             got.extend(
@@ -374,11 +566,16 @@ class TestWorkerFunctions:
         worker_cache = transport_module._WORKER["cache"]
         assert worker_cache.hits > 0
         assert worker_cache.misses == 0
+        assert deltas == []  # fully warm: nothing newly computed
 
     def test_shared_task_equals_pickled_task(self, corpus):
         from multiprocessing import shared_memory
 
-        from repro.engine.transport import _write_batch, batch_slot_bytes
+        from repro.engine.transport import (
+            _read_result,
+            _write_batch,
+            batch_slot_bytes,
+        )
 
         records = corpus.records[:25]
         transport_module = self._init_worker(simple_filter())
@@ -388,14 +585,90 @@ class TestWorkerFunctions:
         )
         try:
             _write_batch(shm.buf, records)
-            got, count, _ = transport_module._task_shared(shm.name)
+            # the result frame fits the slot, so the task leaves it
+            # there and returns only the ring sentinel
+            assert transport_module._task_shared(shm.name) is None
+            got, count, stats, delta = _read_result(shm.buf)
             assert count == len(records)
             assert got.tolist() == want
+            assert delta == []
+            pid, chunks, seen_records, hits, misses = stats
+            # counters are cumulative: the pickled warm-up task above
+            # already evaluated the same batch once
+            assert chunks == 2
+            assert seen_records == 2 * len(records)
             # the attachment is memoised per slot name
             assert shm.name.lstrip("/") in {
                 name.lstrip("/")
                 for name in transport_module._WORKER["shm"]
             }
+        finally:
+            for attached in transport_module._WORKER["shm"].values():
+                attached.close()
+            transport_module._WORKER["shm"].clear()
+            shm.close()
+            shm.unlink()
+
+    def test_result_frame_roundtrip_with_delta(self):
+        import numpy as np
+
+        from repro.engine.transport import _read_result, _write_result
+
+        packed = np.packbits(np.array([1, 0, 1, 1], dtype=bool))
+        delta = [((4, b"fp"), ("atom", 1), np.array([1, 0, 1, 1]))]
+        stats = (4242, 3, 12, 5, 7)
+        buf = memoryview(bytearray(4096))
+        assert _write_result(buf, packed, 4, stats, delta)
+        got_packed, count, got_stats, got_delta = _read_result(buf)
+        assert count == 4
+        assert got_packed.tolist() == packed.tolist()
+        assert got_stats == stats
+        assert len(got_delta) == 1
+        fingerprint, key, array = got_delta[0]
+        assert fingerprint == (4, b"fp")
+        assert key == ("atom", 1)
+        assert array.tolist() == [1, 0, 1, 1]
+
+    def test_result_frame_overflow_is_rejected(self):
+        """A frame that cannot fit reports False so the caller falls
+        back to the pickled pipe — the slot stays untouched."""
+        import numpy as np
+
+        from repro.engine.transport import (
+            _RESULT_HEADER_BYTES,
+            _write_result,
+        )
+
+        packed = np.packbits(np.ones(1024, dtype=bool))
+        buf = memoryview(bytearray(_RESULT_HEADER_BYTES + 8))
+        before = bytes(buf)
+        assert not _write_result(buf, packed, 1024, (1, 1, 1, 0, 0), [])
+        assert bytes(buf) == before
+
+    def test_oversized_delta_result_returns_pickled(self, corpus):
+        """Through the real task function: a result frame bigger than
+        its slot (here: a slot barely larger than the request) comes
+        back as the pickled tuple instead of the ring sentinel."""
+        from multiprocessing import shared_memory
+
+        from repro.engine.transport import _write_batch, batch_slot_bytes
+
+        records = [b'{"n":"temperature","v":"1.0"}'] * 3
+        # warm-capable worker: an empty snapshot still builds a cache,
+        # so newly computed masks ride the (large) delta
+        transport_module = self._init_worker(
+            simple_filter(), snapshot=[]
+        )
+        shm = shared_memory.SharedMemory(
+            create=True, size=batch_slot_bytes(records)
+        )
+        try:
+            _write_batch(shm.buf, records)
+            result = transport_module._task_shared(shm.name)
+            assert result is not None  # fell back to the pickled pipe
+            packed, count, stats, delta = result
+            assert count == len(records)
+            assert len(delta) > 0
         finally:
             for attached in transport_module._WORKER["shm"].values():
                 attached.close()
