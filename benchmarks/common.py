@@ -52,6 +52,20 @@ def write_result(name, text):
     return path
 
 
+def write_json_result(name, payload):
+    """Write ``results/BENCH_<name>.json`` — the machine-readable
+    counterpart of :func:`write_result`, so the perf trajectory across
+    PRs can be diffed by tooling instead of read off tables."""
+    import json
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+        handle.write("\n")
+    return path
+
+
 # -- string-matcher tables (Tables I-III) -----------------------------------
 
 def exact_presence_truth(view, needle):

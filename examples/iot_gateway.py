@@ -1,30 +1,61 @@
 #!/usr/bin/env python
 """IoT gateway scenario: raw filtering between the NIC and the CPU.
 
-The paper's §IV-B suggests using the architecture as an IoT gateway: the
-programmable logic filters the ingress stream at line rate and only the
-surviving records are parsed on the ARM cores.  This example runs the
-whole pipeline on a synthetic SmartCity stream:
+The paper's §IV-B suggests using the architecture as an IoT gateway:
+the programmable logic filters the ingress stream at line rate and only
+the surviving records are parsed on the ARM cores.  Since PR 5 the repo
+has a real service for that role — ``repro.serve`` — so this example
+runs the whole pipeline against an **in-process filter gateway**
+instead of a hand-rolled loop:
 
 1. compile the QS0 query into a Pareto-chosen raw filter,
-2. stream an inflated corpus through the 7-lane SoC model,
-3. parse only the accepted records with the exact CPU filter,
-4. report throughput, parser offload, and result correctness.
+2. start a :class:`~repro.serve.server.FilterGateway` (engine pool +
+   shared AtomCache) and stream an inflated SmartCity corpus through
+   it as tenant ``edge-0``,
+3. stream the same corpus again as tenant ``edge-1`` — served warm
+   from the masks tenant ``edge-0``'s session computed,
+4. parse only the accepted records with the exact CPU filter and
+   report throughput, parser offload, and result correctness.
 """
 
 import time
 
 from repro.baselines import ExactFilter, filtered_pipeline_stats
+from repro.cli import parse_filter_expression
 from repro.core.compiler import paper_pareto_expression
 from repro.core.cost import exact_luts
 from repro.data import QS0, inflate, load_dataset
 from repro.eval import FilterMetrics
-from repro.system import RawFilterSoC
+from repro.serve import GatewayClient, GatewayThread
+
+#: the Pareto-chosen QS0 raw filter in the gateway's wire syntax
+FILTER_TEXT = (
+    "and("
+    "group(s:1:temperature,v:float:0.7:35.1),"
+    "group(s:1:humidity,v:float:20.3:69.1),"
+    "group(s:1:dust,v:float:83.36:3322.67),"
+    "group(s:1:airquality_raw,v:int:12:49))"
+)
+
+
+def stream_through_gateway(port, tenant, payload):
+    """One tenant's full pass; returns (matches, accepted, seconds)."""
+    matches, accepted = [], []
+    with GatewayClient(
+        "127.0.0.1", port, tenant=tenant, chunk_bytes=64 * 1024
+    ) as client:
+        start = time.perf_counter()
+        for batch in client.submit(FILTER_TEXT, payload):
+            matches.extend(batch.matches.tolist())
+            accepted.extend(batch.accepted)
+        elapsed = time.perf_counter() - start
+    return matches, accepted, elapsed
 
 
 def main():
     base = load_dataset("smartcity", 2000)
-    corpus = inflate(base, 8 * 1024 * 1024)
+    corpus = inflate(base, 4 * 1024 * 1024)
+    payload = corpus.stream.tobytes()
     print(f"ingress corpus: {corpus.total_bytes / 1e6:.1f} MB, "
           f"{len(corpus)} records")
 
@@ -37,39 +68,49 @@ def main():
             ("group", "airquality_raw", 1),
         ],
     )
+    # the wire expression compiles to exactly the Pareto choice
+    assert parse_filter_expression(FILTER_TEXT) == raw_filter
     print(f"\nraw filter: {raw_filter.notation()}")
     print(f"synthesised cost: {exact_luts(raw_filter)} LUTs per lane")
 
-    # -- FPGA side ---------------------------------------------------------
-    soc = RawFilterSoC(raw_filter)
-    started = time.perf_counter()
-    report = soc.run(corpus)
-    elapsed = time.perf_counter() - started
-    print(
-        f"\nSoC simulation: {report.achieved_gbps:.2f} GB/s achieved "
-        f"({report.utilization:.0%} of theoretical), "
-        f"10 GBit/s line rate: {report.sustains_line_rate(10.0)}"
-    )
-    print(f"(simulated in {elapsed:.2f} s wall clock)")
+    # -- gateway side: a real resident filter service ----------------------
+    with GatewayThread(engines=2) as gateway:
+        print(f"\nfilter gateway up on 127.0.0.1:{gateway.port} "
+              f"(2 engines, shared AtomCache)")
+        matches, accepted, cold_s = stream_through_gateway(
+            gateway.port, "edge-0", payload
+        )
+        print(f"tenant edge-0 (cold): {len(matches)} records in "
+              f"{cold_s:.2f} s "
+              f"({corpus.total_bytes / cold_s / 1e6:.1f} MB/s)")
+
+        warm_matches, _, warm_s = stream_through_gateway(
+            gateway.port, "edge-1", payload
+        )
+        snapshot = gateway.snapshot()
+        cold_t = snapshot["tenants"]["edge-0"]
+        warm_t = snapshot["tenants"]["edge-1"]
+        print(f"tenant edge-1 (warm): same corpus in {warm_s:.2f} s "
+              f"({corpus.total_bytes / warm_s / 1e6:.1f} MB/s) — "
+              f"cache hit rate {warm_t['cache_hit_rate']:.0%} "
+              f"vs {cold_t['cache_hit_rate']:.0%} cold")
+        assert warm_matches == matches
+        assert warm_t["cache_hit_rate"] > cold_t["cache_hit_rate"]
 
     # -- CPU side: parse only what survived --------------------------------
     oracle = ExactFilter(QS0)
-    survivors = [
-        record
-        for record, accepted in zip(corpus, report.matches)
-        if accepted
-    ]
-    matches = sum(1 for record in survivors if oracle.matches(record))
+    found = sum(1 for record in accepted if oracle.matches(record))
 
-    stats = filtered_pipeline_stats(report.matches, corpus, QS0)
+    stats = filtered_pipeline_stats(matches, corpus, QS0)
     truth = QS0.truth_array(corpus)
-    metrics = FilterMetrics(report.matches, truth)
+    metrics = FilterMetrics(matches, truth)
     print(f"\nrecords ingress:        {stats['records_total']}")
     print(f"records parsed on CPU:  {stats['records_parsed_filtered']} "
           f"(was {stats['records_parsed_unfiltered']})")
-    print(f"bytes parsed on CPU:    {stats['bytes_parsed_filtered'] / 1e6:.1f} MB "
+    print(f"bytes parsed on CPU:    "
+          f"{stats['bytes_parsed_filtered'] / 1e6:.1f} MB "
           f"(was {stats['bytes_parsed_unfiltered'] / 1e6:.1f} MB)")
-    print(f"query matches found:    {matches}")
+    print(f"query matches found:    {found}")
     print(f"missing matches:        {stats['missing_matches']} "
           "(must be 0: raw filters never lose records)")
     print(f"filter FPR:             {metrics.fpr:.3f}")

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Five subcommands cover the library's main workflows:
+Seven subcommands cover the library's main workflows:
 
 * ``generate`` — write one of the synthetic benchmark datasets as NDJSON;
 * ``explore``  — run design-space exploration for a RiotBench query and
@@ -13,7 +13,12 @@ Five subcommands cover the library's main workflows:
   corpora far larger than memory filter in bounded space; backend,
   chunk size and worker count are selectable;
 * ``bench``    — measure software filtering throughput of the engine
-  backends over a generated corpus.
+  backends over a generated corpus (``--json PATH`` writes a
+  machine-readable result document);
+* ``serve``    — run the long-lived multi-tenant filter gateway
+  (``repro.serve``); ``--status`` queries a running gateway instead;
+* ``submit``   — stream an NDJSON file through a running gateway and
+  emit the accepted records.
 
 Filter expressions use a small s-expression-free syntax::
 
@@ -33,6 +38,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import io
+import json
 import os
 import socket
 import sys
@@ -366,6 +372,20 @@ def _merge_back_line(engine, backend, repeat, previous_hit_rate):
     return [line]
 
 
+def _cache_delta(before, after):
+    """Per-pass hits/misses movement of the engine's AtomCache."""
+    if before is None or after is None:
+        return None
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }
+
+
 def cmd_bench(args):
     expr = parse_filter_expression(args.expression)
     dataset = load_dataset(args.dataset, args.records, seed=args.seed)
@@ -377,9 +397,11 @@ def cmd_bench(args):
     engine = _engine_from_args(args)
     rows = []
     merge_lines = []
+    passes = []
     previous_hit_rate = {}
     for backend in backends:
         for repeat in range(args.repeat):
+            cache_before = engine.stats()["cache"]
             with _bench_source(
                 args.source, ndjson, args.chunk_bytes
             ) as source:
@@ -405,6 +427,23 @@ def cmd_bench(args):
             merge_lines += _merge_back_line(
                 engine, backend.strip(), repeat, previous_hit_rate
             )
+            stats = engine.stats()
+            passes.append({
+                "backend": backend.strip(),
+                "pass": repeat + 1,
+                "records": records,
+                "accepted": accepted,
+                "seconds": elapsed,
+                "bytes": payload,
+                "bytes_per_second": rate,
+                "records_per_second": (
+                    records / elapsed if elapsed > 0 else None
+                ),
+                "cache_delta": _cache_delta(
+                    cache_before, stats["cache"]
+                ),
+                "workers": stats["workers"],
+            })
     print(render_table(
         ["Backend", "Records", "Accepted", "Seconds", "MB/s"],
         rows,
@@ -431,6 +470,135 @@ def cmd_bench(args):
             f"{cache_stats['entries']} entries, "
             f"{cache_stats['bytes']} bytes, "
             f"{cache_stats['evictions']} evictions",
+            file=sys.stderr,
+        )
+    if args.json:
+        document = {
+            "benchmark": "repro-bench",
+            "dataset": dataset.name,
+            "expression": expr.notation(),
+            "payload_bytes": payload,
+            "config": {
+                "chunk_bytes": args.chunk_bytes,
+                "workers": args.workers,
+                "transport": engine.config.transport_name(),
+                "source": args.source,
+                "cache": engine.atom_cache is not None,
+                "repeat": args.repeat,
+            },
+            "passes": passes,
+            "cache": cache_stats,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"bench results written to {args.json}",
+              file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# the gateway service (repro.serve)
+# ---------------------------------------------------------------------------
+
+def cmd_serve(args):
+    # imported lazily: repro.serve pulls asyncio machinery (and this
+    # module back, for the expression parser) that plain one-shot CLI
+    # invocations never need
+    import asyncio
+
+    from .serve import FilterGateway, GatewayClient, render_status
+
+    if args.status:
+        client = GatewayClient(
+            args.host, args.port, tenant="status", observer=True
+        )
+        with client:
+            snapshot = client.stats()
+        if args.json_status:
+            print(json.dumps(snapshot, indent=2))
+        else:
+            print(render_status(snapshot))
+        return 0
+
+    if args.cache_file and os.path.exists(args.cache_file):
+        # byte-bounded only, matching EnginePool's service default
+        cache = AtomCache.from_file(args.cache_file, max_entries=None)
+    else:
+        cache = True  # EnginePool builds its byte-bounded default
+    gateway = FilterGateway(
+        args.host, args.port,
+        engines=args.engines,
+        cache=cache,
+        backend=args.backend,
+        max_sessions=args.max_sessions,
+        max_inflight_bytes=args.max_inflight_bytes,
+        queue_chunks=args.queue_chunks,
+        drain_timeout=args.drain_timeout,
+    )
+
+    async def run():
+        await gateway.start()
+        print(
+            f"filter gateway listening on {gateway.host}:"
+            f"{gateway.port} ({args.engines} engines, "
+            f"max {args.max_sessions} sessions)",
+            file=sys.stderr,
+        )
+        try:
+            await gateway.serve_forever()
+        finally:
+            # reached on Ctrl-C too (asyncio.run cancels this task):
+            # drain in-flight sessions within --drain-timeout
+            await gateway.shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("gateway interrupted, drained", file=sys.stderr)
+    if args.cache_file:
+        gateway.pool.cache.save(args.cache_file)
+        print(f"atom cache spilled to {args.cache_file}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args):
+    from .serve import GatewayClient
+
+    # parse before connecting so a bad expression fails fast, locally
+    expr = parse_filter_expression(args.expression)
+    source = (
+        sys.stdin.buffer if args.input == "-" else args.input
+    )
+    client = GatewayClient(
+        args.host, args.port, tenant=args.tenant,
+        chunk_bytes=args.chunk_bytes,
+    )
+    out = sys.stdout.buffer
+    stats = None
+    with client:
+        for batch in client.submit(args.expression, source):
+            for record in batch.accepted:
+                out.write(record + b"\n")
+            if batch.accepted:
+                out.flush()
+        if args.stats:
+            stats = client.stats()
+    summary = client.last_summary or {}
+    print(
+        f"accepted {summary.get('accepted', 0)}"
+        f"/{summary.get('records', 0)} records over "
+        f"{summary.get('bytes', 0)} bytes "
+        f"({expr.notation()}) via {args.host}:{args.port}",
+        file=sys.stderr,
+    )
+    if stats is not None:
+        tenant = stats["tenants"].get(args.tenant, {})
+        print(
+            f"tenant {args.tenant}: "
+            f"cache hit rate {tenant.get('cache_hit_rate', 0.0):.1%}, "
+            f"accept rate {tenant.get('accept_rate', 0.0):.1%}",
             file=sys.stderr,
         )
     return 0
@@ -520,9 +688,82 @@ def build_arg_parser():
         help="ingest layer to benchmark: in-memory chunks, a real "
              "temporary file, or a local socket fed by a thread",
     )
+    bench.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write a machine-readable result document "
+             "(records/s, bytes/s, per-pass cache deltas, worker "
+             "counters) to PATH",
+    )
     _add_cache_file_argument(bench)
     _add_engine_arguments(bench, with_backend=False)
     bench.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant streaming filter gateway",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7707)
+    serve.add_argument(
+        "--engines", type=int, default=2,
+        help="FilterEngine pool size (all share one AtomCache)",
+    )
+    serve.add_argument(
+        "--backend", default="vectorized",
+        choices=["vectorized", "scalar"],
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=32,
+        help="admission control: concurrent session ceiling",
+    )
+    serve.add_argument(
+        "--max-inflight-bytes", type=int, default=64 << 20,
+        help="admission control: queued-but-unevaluated byte ceiling "
+             "across all sessions",
+    )
+    serve.add_argument(
+        "--queue-chunks", type=int, default=8,
+        help="per-session bounded queue depth (backpressure)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0,
+        help="graceful-shutdown drain window in seconds",
+    )
+    serve.add_argument(
+        "--status", action="store_true",
+        help="query a running gateway's metrics instead of serving",
+    )
+    serve.add_argument(
+        "--json", dest="json_status", action="store_true",
+        help="with --status: print the raw JSON snapshot",
+    )
+    _add_cache_file_argument(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="stream an NDJSON file through a running gateway",
+    )
+    submit.add_argument("expression")
+    submit.add_argument(
+        "--input", "-i", default="-",
+        help="NDJSON file path ('-' for stdin)",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7707)
+    submit.add_argument(
+        "--tenant", default="cli",
+        help="tenant name this session's metrics are charged to",
+    )
+    submit.add_argument(
+        "--chunk-bytes", type=int, default=64 * 1024,
+        help="upload chunk size",
+    )
+    submit.add_argument(
+        "--stats", action="store_true",
+        help="print this tenant's gateway metrics after the stream",
+    )
+    submit.set_defaults(func=cmd_submit)
     return parser
 
 

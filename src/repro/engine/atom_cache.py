@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -95,6 +96,10 @@ class AtomCache:
         self.max_views = max_views
         self._entries = OrderedDict()  # (fingerprint, key) -> array
         self._views = OrderedDict()    # fingerprint -> DatasetView
+        #: guards the two OrderedDicts — the serve-layer engine pool
+        #: evaluates batches on several executor threads against one
+        #: shared cache, and LRU reordering is not atomic on its own
+        self._lock = threading.RLock()
         self._bytes = 0
         self.hits = 0
         self.misses = 0
@@ -108,35 +113,37 @@ class AtomCache:
 
     def lookup(self, fingerprint, key):
         """The cached array for (fingerprint, key), or ``None``; counts."""
-        entry = self._entries.get((fingerprint, key))
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end((fingerprint, key))
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get((fingerprint, key))
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((fingerprint, key))
+            self.hits += 1
+            return entry
 
     def put(self, fingerprint, key, array):
         """Insert one evaluation array, evicting LRU entries past bounds."""
         array = _freeze(array)
         full_key = (fingerprint, key)
-        previous = self._entries.pop(full_key, None)
-        if previous is not None:
-            self._bytes -= previous.nbytes
-        self._entries[full_key] = array
-        self._bytes += array.nbytes
-        self.inserts += 1
-        while self._entries and (
-            (self.max_entries is not None
-             and len(self._entries) > self.max_entries)
-            or (self.max_bytes is not None
-                and self._bytes > self.max_bytes)
-        ):
-            _, evicted = self._entries.popitem(last=False)
-            self._bytes -= evicted.nbytes
-            self.evictions += 1
-        if self.delta_log is not None:
-            self.delta_log.append((fingerprint, key, array))
+        with self._lock:
+            previous = self._entries.pop(full_key, None)
+            if previous is not None:
+                self._bytes -= previous.nbytes
+            self._entries[full_key] = array
+            self._bytes += array.nbytes
+            self.inserts += 1
+            while self._entries and (
+                (self.max_entries is not None
+                 and len(self._entries) > self.max_entries)
+                or (self.max_bytes is not None
+                    and self._bytes > self.max_bytes)
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.evictions += 1
+            if self.delta_log is not None:
+                self.delta_log.append((fingerprint, key, array))
         return array
 
     def __len__(self):
@@ -147,9 +154,10 @@ class AtomCache:
 
     def clear(self):
         """Drop all entries and memoised views (counters are kept)."""
-        self._entries.clear()
-        self._views.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._views.clear()
+            self._bytes = 0
 
     # -- dataset views ------------------------------------------------------
 
@@ -168,15 +176,16 @@ class AtomCache:
         the process-wide default engine.
         """
         fingerprint = dataset_fingerprint(dataset)
-        view = self._views.get(fingerprint)
-        if view is None:
-            view = DatasetView(dataset)
-            self._views[fingerprint] = view
-            while len(self._views) > self.max_views:
-                self._views.popitem(last=False)
-        else:
-            self._views.move_to_end(fingerprint)
-        return view
+        with self._lock:
+            view = self._views.get(fingerprint)
+            if view is None:
+                view = DatasetView(dataset)
+                self._views[fingerprint] = view
+                while len(self._views) > self.max_views:
+                    self._views.popitem(last=False)
+            else:
+                self._views.move_to_end(fingerprint)
+            return view
 
     # -- harness-facing evaluation ------------------------------------------
 
@@ -213,13 +222,15 @@ class AtomCache:
         """
         entries = []
         total = 0
-        for (fingerprint, key), array in reversed(
-            self._entries.items()
-        ):
-            total += array.nbytes
-            if max_bytes is not None and total > max_bytes and entries:
-                break
-            entries.append((fingerprint, key, array))
+        with self._lock:
+            for (fingerprint, key), array in reversed(
+                self._entries.items()
+            ):
+                total += array.nbytes
+                if (max_bytes is not None and total > max_bytes
+                        and entries):
+                    break
+                entries.append((fingerprint, key, array))
         return entries
 
     def load_snapshot(self, entries):
@@ -262,12 +273,13 @@ class AtomCache:
         Returns ``(merged, skipped)`` entry counts.
         """
         merged = skipped = 0
-        for fingerprint, key, array in entries:
-            if (fingerprint, key) in self._entries:
-                skipped += 1
-                continue
-            self.put(fingerprint, key, array)
-            merged += 1
+        with self._lock:
+            for fingerprint, key, array in entries:
+                if (fingerprint, key) in self._entries:
+                    skipped += 1
+                    continue
+                self.put(fingerprint, key, array)
+                merged += 1
         return merged, skipped
 
     def save(self, path, max_bytes=None):
@@ -321,27 +333,29 @@ class AtomCache:
         """Approximate bytes retained by the memoised dataset views
         (corpus stream + token matrix where already built)."""
         total = 0
-        for view in self._views.values():
-            total += view.dataset.total_bytes
-            token_view = getattr(view, "_token_view", None)
-            if token_view is not None:
-                total += int(token_view[0].nbytes)
+        with self._lock:
+            for view in self._views.values():
+                total += view.dataset.total_bytes
+                token_view = getattr(view, "_token_view", None)
+                if token_view is not None:
+                    total += int(token_view[0].nbytes)
         return total
 
     def stats(self):
         """Counters snapshot: hits/misses/evictions/entries/bytes."""
-        lookups = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / lookups if lookups else 0.0,
-            "evictions": self.evictions,
-            "inserts": self.inserts,
-            "entries": len(self._entries),
-            "bytes": self._bytes,
-            "views": len(self._views),
-            "view_bytes": self.view_bytes(),
-        }
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "evictions": self.evictions,
+                "inserts": self.inserts,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "views": len(self._views),
+                "view_bytes": self.view_bytes(),
+            }
 
     def __repr__(self):
         stats = self.stats()

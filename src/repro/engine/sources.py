@@ -163,16 +163,27 @@ class SocketSource(ChunkSource):
     Accepts an already connected socket object (ownership stays with
     the caller) or a ``(host, port)`` address to connect to (the source
     owns and closes the connection).  The peer signals end-of-stream by
-    shutting down its write side.
+    shutting down its write side; a peer that closes mid-record simply
+    ends the stream there — the engine's framer still yields the
+    partial trailing record on flush.
+
+    ``timeout`` (seconds) bounds how long one ``recv`` may block; a
+    stalled peer then surfaces as a :class:`ReproError` instead of
+    hanging a service ingest loop forever.  The timeout is applied to
+    the socket itself, including caller-owned sockets.
     """
 
     name = "socket"
 
-    def __init__(self, sock, chunk_bytes=DEFAULT_SOURCE_CHUNK_BYTES):
+    def __init__(self, sock, chunk_bytes=DEFAULT_SOURCE_CHUNK_BYTES,
+                 timeout=None):
         super().__init__()
         if chunk_bytes <= 0:
             raise ReproError("chunk_bytes must be positive")
+        if timeout is not None and timeout <= 0:
+            raise ReproError("timeout must be positive (or None)")
         self.chunk_bytes = chunk_bytes
+        self.timeout = timeout
         if isinstance(sock, tuple):
             self._sock = socket_module.create_connection(sock)
             self._owns_socket = True
@@ -184,11 +195,19 @@ class SocketSource(ChunkSource):
                 f"SocketSource needs a socket or (host, port), "
                 f"got {sock!r}"
             )
+        if timeout is not None:
+            self._sock.settimeout(timeout)
 
     def chunks(self):
         recv = self._sock.recv
         while True:
-            chunk = recv(self.chunk_bytes)
+            try:
+                chunk = recv(self.chunk_bytes)
+            except socket_module.timeout:
+                raise ReproError(
+                    f"socket recv timed out after {self.timeout}s "
+                    f"({self.bytes_read} bytes received so far)"
+                ) from None
             if not chunk:
                 return
             yield chunk
@@ -219,6 +238,7 @@ class AsyncSource(ChunkSource):
             )
         self._async_iterable = async_iterable
         self._loop = None
+        self._task = None
 
     def chunks(self):
         import asyncio
@@ -227,20 +247,54 @@ class AsyncSource(ChunkSource):
         iterator = self._async_iterable.__aiter__()
         try:
             while True:
+                # the pending __anext__ is held as a task so an
+                # abandoning consumer can cancel it from close()
+                self._task = self._loop.create_task(
+                    _anext_coroutine(iterator)
+                )
                 try:
-                    chunk = self._loop.run_until_complete(
-                        iterator.__anext__()
-                    )
+                    chunk = self._loop.run_until_complete(self._task)
                 except StopAsyncIteration:
                     return
+                finally:
+                    self._task = None
                 yield chunk
         finally:
             self.close()
 
     def close(self):
-        if self._loop is not None:
-            self._loop.close()
-            self._loop = None
+        """Tear the private loop down without leaking pending work.
+
+        Abandoning a stream mid-iteration (a gateway client vanishing,
+        an engine ``stream(...).close()``) must not leave the
+        producer's ``__anext__`` task pending or its ``async def``
+        generator suspended: the in-flight task is cancelled and
+        awaited, then ``loop.shutdown_asyncgens()`` runs the
+        producer's finalisers (``finally:`` blocks around its yields)
+        before the loop closes — no "task was destroyed but it is
+        pending" noise, no skipped producer cleanup.
+        """
+        import asyncio
+
+        loop, self._loop = self._loop, None
+        if loop is None or loop.is_closed():
+            return
+        task, self._task = self._task, None
+        try:
+            if task is not None and not task.done():
+                task.cancel()
+                try:
+                    loop.run_until_complete(task)
+                except (asyncio.CancelledError, StopAsyncIteration):
+                    pass
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
+
+
+async def _anext_coroutine(iterator):
+    """``await iterator.__anext__()`` as a cancellable coroutine."""
+    return await iterator.__anext__()
 
 
 def as_chunk_source(obj, chunk_bytes=DEFAULT_SOURCE_CHUNK_BYTES):

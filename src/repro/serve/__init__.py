@@ -1,0 +1,51 @@
+"""repro.serve — the multi-tenant streaming filter gateway.
+
+The service layer on top of the engine: a long-running asyncio
+:class:`FilterGateway` multiplexes many client sessions onto a shared
+:class:`~repro.engine.FilterEngine` pool (one shared AtomCache, so
+tenants warm each other), with admission control, per-session
+backpressure, live filter swaps charged with the paper's partial-
+reconfiguration model, and per-tenant metrics.  Clients stream any
+:class:`~repro.engine.sources.ChunkSource` up and get match bits plus
+accepted records back, bit-identical to an offline
+``FilterEngine.stream`` run.
+
+Entry points: ``repro serve`` / ``repro submit`` on the CLI,
+:class:`GatewayClient`/:class:`AsyncGatewayClient` in code, and
+:class:`GatewayThread` to host a gateway inside a synchronous process
+(tests, benchmarks, examples).
+"""
+
+from .client import AsyncGatewayClient, GatewayClient, ResultBatch
+from .metrics import GatewayMetrics, TenantMetrics, render_status
+from .protocol import (
+    AdmissionError,
+    FrameDecoder,
+    GatewayError,
+    ProtocolError,
+    SessionError,
+)
+from .server import (
+    DEFAULT_PORT,
+    EnginePool,
+    FilterGateway,
+    GatewayThread,
+)
+
+__all__ = [
+    "AsyncGatewayClient",
+    "GatewayClient",
+    "ResultBatch",
+    "GatewayMetrics",
+    "TenantMetrics",
+    "render_status",
+    "AdmissionError",
+    "FrameDecoder",
+    "GatewayError",
+    "ProtocolError",
+    "SessionError",
+    "DEFAULT_PORT",
+    "EnginePool",
+    "FilterGateway",
+    "GatewayThread",
+]

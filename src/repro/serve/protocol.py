@@ -1,0 +1,321 @@
+"""Wire protocol of the filter gateway (length-prefixed frames).
+
+One frame = an 8-byte header (``b"RF"`` magic, protocol version, frame
+type, big-endian payload length) followed by the payload.  Control
+frames carry UTF-8 JSON; ``CHUNK`` carries raw stream bytes; ``RESULT``
+carries a packed binary batch (record count, accepted count, packed
+match bits, the accepted records as NDJSON).
+
+A session speaks the protocol in this order::
+
+    C -> S   HELLO   {"tenant": ..., "protocol": 1}
+    S -> C   HELLO_OK {"session": ..., "version": ...}
+    C -> S   QUERY   {"expression": "group(s:1:temperature,...)"}
+    S -> C   QUERY_OK
+    C -> S   CHUNK* / SWAP / STATS   (interleaved, order preserved)
+    S -> C   RESULT* / SWAP_OK / STATS_OK   (in stream order)
+    C -> S   END
+    S -> C   END_OK  {"records": ..., "accepted": ..., "bytes": ...}
+
+after which the client may submit another ``QUERY`` on the same
+connection.  Any malformed input is answered with an ``ERROR`` frame
+whose ``kind`` maps back to a typed :class:`~repro.errors.ReproError`
+subclass on the client side.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: protocol magic + version; a version bump breaks old peers loudly
+MAGIC = b"RF"
+VERSION = 1
+
+_HEADER = struct.Struct(">2sBBI")
+HEADER_BYTES = _HEADER.size
+
+#: ceiling on a single frame payload — malformed/hostile lengths are
+#: rejected before any allocation happens
+MAX_PAYLOAD_BYTES = 64 << 20
+
+# frame types ---------------------------------------------------------------
+HELLO = 1
+HELLO_OK = 2
+QUERY = 3
+QUERY_OK = 4
+CHUNK = 5
+RESULT = 6
+SWAP = 7
+SWAP_OK = 8
+STATS = 9
+STATS_OK = 10
+END = 11
+END_OK = 12
+ERROR = 13
+
+FRAME_NAMES = {
+    HELLO: "HELLO",
+    HELLO_OK: "HELLO_OK",
+    QUERY: "QUERY",
+    QUERY_OK: "QUERY_OK",
+    CHUNK: "CHUNK",
+    RESULT: "RESULT",
+    SWAP: "SWAP",
+    SWAP_OK: "SWAP_OK",
+    STATS: "STATS",
+    STATS_OK: "STATS_OK",
+    END: "END",
+    END_OK: "END_OK",
+    ERROR: "ERROR",
+}
+
+
+# typed gateway errors ------------------------------------------------------
+
+class GatewayError(ReproError):
+    """Base class of every gateway/service-layer error."""
+
+
+class ProtocolError(GatewayError):
+    """A frame was malformed (bad magic/version/length/type/payload)."""
+
+
+class AdmissionError(GatewayError):
+    """The gateway refused the session (admission-control policy)."""
+
+
+class SessionError(GatewayError):
+    """The server reported a per-session failure (bad query, ...)."""
+
+
+#: ``kind`` strings of ERROR frames -> client-side exception class
+ERROR_KINDS = {
+    "protocol": ProtocolError,
+    "admission": AdmissionError,
+    "query": SessionError,
+    "session": SessionError,
+}
+
+
+def error_to_kind(exc):
+    """The ERROR-frame ``kind`` string for a gateway-side exception."""
+    if isinstance(exc, ProtocolError):
+        return "protocol"
+    if isinstance(exc, AdmissionError):
+        return "admission"
+    return "session"
+
+
+def raise_error_frame(payload):
+    """Re-raise an ERROR frame payload as its typed exception."""
+    info = decode_json(ERROR, payload)
+    kind = info.get("kind", "session")
+    message = info.get("error", "gateway error")
+    raise ERROR_KINDS.get(kind, SessionError)(message)
+
+
+# frame encoding ------------------------------------------------------------
+
+def encode_frame(frame_type, payload=b""):
+    """One wire frame: header + payload bytes."""
+    if frame_type not in FRAME_NAMES:
+        raise ProtocolError(f"unknown frame type {frame_type!r}")
+    payload = bytes(payload)
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte frame limit"
+        )
+    return _HEADER.pack(MAGIC, VERSION, frame_type, len(payload)) + payload
+
+
+def encode_json_frame(frame_type, obj):
+    """A control frame whose payload is compact UTF-8 JSON."""
+    return encode_frame(
+        frame_type,
+        json.dumps(obj, separators=(",", ":")).encode("utf-8"),
+    )
+
+
+def decode_json(frame_type, payload):
+    """Parse a control frame's JSON payload (typed error on garbage)."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ProtocolError(
+            f"{FRAME_NAMES.get(frame_type, frame_type)} frame payload "
+            f"is not valid JSON: {err}"
+        ) from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"{FRAME_NAMES.get(frame_type, frame_type)} frame payload "
+            f"must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def decode_header(header):
+    """``(frame_type, payload_length)`` from 8 header bytes, validated."""
+    if len(header) != HEADER_BYTES:
+        raise ProtocolError(
+            f"truncated frame header ({len(header)} of "
+            f"{HEADER_BYTES} bytes)"
+        )
+    magic, version, frame_type, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(this side speaks {VERSION})"
+        )
+    if frame_type not in FRAME_NAMES:
+        raise ProtocolError(f"unknown frame type {frame_type}")
+    if length > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte frame limit"
+        )
+    return frame_type, length
+
+
+class FrameDecoder:
+    """Incremental frame parser: ``feed`` bytes, iterate complete frames.
+
+    Carries partial frames across feeds the same way the engine's
+    :class:`~repro.engine.framing.RecordFramer` carries partial records
+    across chunk seams.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data):
+        self._buffer += data
+
+    def frames(self):
+        """Yield ``(frame_type, payload)`` for every complete frame."""
+        while True:
+            if len(self._buffer) < HEADER_BYTES:
+                return
+            frame_type, length = decode_header(
+                bytes(self._buffer[:HEADER_BYTES])
+            )
+            end = HEADER_BYTES + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[HEADER_BYTES:end])
+            del self._buffer[:end]
+            yield frame_type, payload
+
+    @property
+    def pending_bytes(self):
+        return len(self._buffer)
+
+
+# RESULT batch payload ------------------------------------------------------
+
+_RESULT_HEAD = struct.Struct(">II")
+
+
+def encode_result(matches, accepted_records):
+    """Pack one evaluated batch: bit-exact matches + accepted records."""
+    matches = np.asarray(matches, dtype=bool)
+    packed = np.packbits(matches).tobytes()
+    body = b"\n".join(bytes(r) for r in accepted_records)
+    return (
+        _RESULT_HEAD.pack(matches.shape[0], len(accepted_records))
+        + packed + body
+    )
+
+
+def decode_result(payload):
+    """``(matches, accepted_records)`` back from a RESULT payload."""
+    if len(payload) < _RESULT_HEAD.size:
+        raise ProtocolError("truncated RESULT payload")
+    num_records, num_accepted = _RESULT_HEAD.unpack_from(payload)
+    bits_bytes = -(-num_records // 8)
+    offset = _RESULT_HEAD.size
+    if len(payload) < offset + bits_bytes:
+        raise ProtocolError("RESULT payload shorter than its bit vector")
+    packed = np.frombuffer(
+        payload, dtype=np.uint8, count=bits_bytes, offset=offset
+    )
+    matches = np.unpackbits(packed, count=num_records).astype(bool)
+    body = payload[offset + bits_bytes:]
+    accepted = body.split(b"\n") if body else []
+    if len(accepted) != num_accepted:
+        raise ProtocolError(
+            f"RESULT payload carries {len(accepted)} accepted records, "
+            f"header says {num_accepted}"
+        )
+    if int(np.count_nonzero(matches)) != num_accepted:
+        raise ProtocolError(
+            "RESULT match bits disagree with the accepted-record count"
+        )
+    return matches, accepted
+
+
+# blocking / async frame IO -------------------------------------------------
+
+class SocketFrameStream:
+    """Blocking frame reader/writer over a connected socket."""
+
+    def __init__(self, sock):
+        self._sock = sock
+        self._decoder = FrameDecoder()
+        self._ready = []
+
+    def send(self, frame):
+        self._sock.sendall(frame)
+
+    def read_frame(self):
+        """The next complete frame, or ``None`` on orderly EOF."""
+        while True:
+            if self._ready:
+                return self._ready.pop(0)
+            try:
+                data = self._sock.recv(1 << 16)
+            except socket.timeout:
+                raise GatewayError(
+                    "timed out waiting for a gateway frame"
+                ) from None
+            if not data:
+                if self._decoder.pending_bytes:
+                    raise ProtocolError(
+                        "connection closed mid-frame "
+                        f"({self._decoder.pending_bytes} bytes pending)"
+                    )
+                return None
+            self._decoder.feed(data)
+            self._ready.extend(self._decoder.frames())
+
+
+async def read_frame_async(reader):
+    """One frame from an :class:`asyncio.StreamReader` (None on EOF)."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as err:
+        if not err.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(err.partial)} of "
+            f"{HEADER_BYTES} bytes)"
+        ) from None
+    frame_type, length = decode_header(header)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as err:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(err.partial)} of "
+            f"{length} payload bytes)"
+        ) from None
+    return frame_type, payload

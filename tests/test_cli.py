@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 import repro.core.composition as comp
@@ -301,3 +303,138 @@ class TestIngestAndTransportOptions:
         bench = parser.parse_args(["bench", "s:1:a"])
         assert bench.source == "memory"
         assert bench.transport == "fork-pickle"
+        assert bench.json is None
+
+
+class TestBenchJson:
+    def test_bench_json_writes_result_document(self, tmp_path,
+                                               capsys):
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench", "s:1:temperature",
+            "--records", "60", "--backends", "vectorized",
+            "--repeat", "2", "--json", str(out),
+        ])
+        assert code == 0
+        assert "bench results written" in capsys.readouterr().err
+        document = json.loads(out.read_text())
+        assert document["benchmark"] == "repro-bench"
+        assert document["dataset"] == "smartcity"
+        assert document["payload_bytes"] > 0
+        assert document["config"]["cache"] is True
+        assert len(document["passes"]) == 2
+        for entry in document["passes"]:
+            assert entry["records"] == 60
+            assert entry["seconds"] > 0
+            assert entry["bytes_per_second"] > 0
+            assert entry["records_per_second"] > 0
+        # the warm pass is served from the AtomCache
+        assert document["passes"][0]["cache_delta"]["misses"] > 0
+        assert document["passes"][1]["cache_delta"]["hit_rate"] == 1.0
+        assert document["cache"]["hits"] > 0
+
+    def test_bench_json_without_cache_has_null_deltas(self, tmp_path):
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench", "s:1:temperature",
+            "--records", "60", "--backends", "vectorized",
+            "--no-cache", "--json", str(out),
+        ])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["config"]["cache"] is False
+        assert document["passes"][0]["cache_delta"] is None
+        assert document["cache"] is None
+
+
+class TestServeAndSubmit:
+    EXPRESSION = "group(s:1:temperature,v:float:0.7:35.1)"
+    PAYLOAD = (
+        b'{"n":"temperature","v":"30.0"}\n'
+        b'{"n":"temperature","v":"99.0"}\n'
+        b'{"n":"humidity","v":"30.0"}\n'
+    )
+
+    @pytest.fixture()
+    def gateway(self):
+        from repro.serve import GatewayThread
+
+        with GatewayThread(engines=1) as gw:
+            yield gw
+
+    def test_submit_streams_through_a_gateway(self, gateway,
+                                              tmp_path, capsys):
+        source = tmp_path / "in.ndjson"
+        source.write_bytes(self.PAYLOAD * 10)
+        code = main([
+            "submit", self.EXPRESSION,
+            "--input", str(source),
+            "--host", "127.0.0.1", "--port", str(gateway.port),
+            "--tenant", "cli-test",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.count('"30.0"') == 10
+        assert "accepted 10/30" in captured.err
+        assert f"via 127.0.0.1:{gateway.port}" in captured.err
+
+    def test_submit_with_stats_reports_tenant_line(self, gateway,
+                                                   tmp_path, capsys):
+        source = tmp_path / "in.ndjson"
+        source.write_bytes(self.PAYLOAD)
+        code = main([
+            "submit", self.EXPRESSION,
+            "--input", str(source),
+            "--port", str(gateway.port),
+            "--tenant", "statty", "--stats",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "tenant statty:" in err
+        assert "accept rate" in err
+
+    def test_submit_bad_expression_fails_before_connecting(self,
+                                                           capsys):
+        code = main([
+            "submit", "bogus(((", "--port", "1",  # nothing listens
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_status_renders_metrics(self, gateway, tmp_path,
+                                          capsys):
+        source = tmp_path / "in.ndjson"
+        source.write_bytes(self.PAYLOAD)
+        main([
+            "submit", self.EXPRESSION,
+            "--input", str(source),
+            "--port", str(gateway.port), "--tenant", "seen",
+        ])
+        code = main([
+            "serve", "--status",
+            "--host", "127.0.0.1", "--port", str(gateway.port),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gateway:" in out
+        assert "seen" in out
+
+    def test_serve_status_json(self, gateway, capsys):
+        code = main([
+            "serve", "--status", "--json",
+            "--port", str(gateway.port),
+        ])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert "gateway" in snapshot and "engine" in snapshot
+
+    def test_serve_parser_defaults(self):
+        parser = build_arg_parser()
+        serve = parser.parse_args(["serve"])
+        assert serve.port == 7707
+        assert serve.engines == 2
+        assert serve.max_sessions == 32
+        assert not serve.status
+        submit = parser.parse_args(["submit", "s:1:a"])
+        assert submit.tenant == "cli"
+        assert submit.input == "-"

@@ -152,9 +152,77 @@ class TestSocketSource:
         try:
             with pytest.raises(ReproError):
                 SocketSource(receiver, chunk_bytes=0)
+            with pytest.raises(ReproError):
+                SocketSource(receiver, timeout=0)
         finally:
             feeder.close()
             receiver.close()
+
+    def test_recv_timeout_raises_repro_error(self):
+        """A stalled peer surfaces as a clear ReproError, not a hang."""
+        feeder, receiver = socket.socketpair()
+        try:
+            feeder.sendall(b'{"n":"temperature"}\n')
+            source = SocketSource(
+                receiver, chunk_bytes=64, timeout=0.05
+            )
+            chunks = iter(source)
+            assert next(chunks)  # delivered bytes flow normally
+            with pytest.raises(ReproError, match="timed out"):
+                next(chunks)  # then the peer goes silent
+        finally:
+            feeder.close()
+            receiver.close()
+
+    def test_mid_stream_peer_close_yields_partial_tail(self):
+        """A peer dying mid-record ends the stream at EOF; the framer
+        still flushes the partial trailing record (service ingest must
+        not lose or duplicate what arrived before the close)."""
+        full = b'{"n":"temperature","v":"1.0"}\n'
+        partial = b'{"n":"temperature","v":"2.0"'
+        feeder, receiver = socket.socketpair()
+
+        def feed():
+            feeder.sendall(full + partial)
+            feeder.close()  # mid-record disconnect
+
+        thread = threading.Thread(target=feed)
+        thread.start()
+        engine = FilterEngine(chunk_bytes=64)
+        records = []
+        for batch in engine.stream(
+            comp.s("temperature", 1),
+            SocketSource(receiver, chunk_bytes=64, timeout=5),
+        ):
+            records.extend(batch.records)
+        thread.join()
+        receiver.close()
+        assert records == [full.rstrip(b"\n"), partial]
+
+    def test_partial_recv_reassembly(self, corpus, payload):
+        """Records split across many tiny recv() returns reassemble to
+        exactly the offline match bits (regression for service use:
+        TCP hands the gateway arbitrary segment boundaries)."""
+        feeder, receiver = socket.socketpair()
+
+        def feed():
+            for start in range(0, len(payload), 13):
+                feeder.sendall(payload[start:start + 13])
+            feeder.close()
+
+        thread = threading.Thread(target=feed)
+        thread.start()
+        engine = FilterEngine()
+        expected = engine.match_bits(simple_filter(), corpus)
+        matches = []
+        for batch in engine.stream(
+            simple_filter(),
+            SocketSource(receiver, chunk_bytes=31, timeout=10),
+        ):
+            matches.extend(batch.matches.tolist())
+        thread.join()
+        receiver.close()
+        assert matches == expected.tolist()
 
 
 class TestAsyncSource:
@@ -182,6 +250,78 @@ class TestAsyncSource:
     def test_rejects_non_async_iterables(self):
         with pytest.raises(ReproError):
             AsyncSource([b"chunk"])
+
+    def test_abandoned_stream_runs_producer_finalisers(self):
+        """Abandoning a gateway-style stream must aclose the async
+        producer (its ``finally`` runs via ``shutdown_asyncgens``)
+        instead of leaving a suspended generator behind."""
+        cleanup = []
+
+        async def produce():
+            try:
+                while True:
+                    yield b'{"n":"temperature","v":"1.0"}\n' * 8
+            finally:
+                cleanup.append("closed")
+
+        engine = FilterEngine(chunk_bytes=64)
+        stream = engine.stream(
+            comp.s("temperature", 1), AsyncSource(produce())
+        )
+        next(stream)  # partially consume, then abandon
+        stream.close()
+        assert cleanup == ["closed"]
+
+    def test_abandonment_emits_no_pending_task_noise(self, capsys):
+        """No "Task was destroyed but it is pending!" / "Event loop is
+        closed" stderr noise when a consumer walks away mid-stream."""
+        async def produce():
+            while True:
+                yield b'{"n":"temperature","v":"1.0"}\n' * 8
+
+        source = AsyncSource(produce())
+        chunks = iter(source)
+        next(chunks)
+        chunks.close()  # abandon the source's own generator
+        import gc
+
+        gc.collect()
+        err = capsys.readouterr().err
+        assert "Task was destroyed" not in err
+        assert "Event loop is closed" not in err
+
+    def test_close_cancels_in_flight_anext(self):
+        """An in-flight __anext__ task is cancelled and awaited on
+        close — the parked producer sees CancelledError instead of
+        being destroyed while pending."""
+        import asyncio
+
+        from repro.engine.sources import _anext_coroutine
+
+        states = []
+
+        async def parked():
+            try:
+                await asyncio.sleep(3600)  # never delivers a chunk
+                yield b""  # pragma: no cover - unreachable
+            except asyncio.CancelledError:
+                states.append("cancelled")
+                raise
+
+        source = AsyncSource(parked())
+        # arm the in-flight state chunks() would be in while awaiting
+        # a chunk that never arrives, then tear down
+        source._loop = asyncio.new_event_loop()
+        iterator = source._async_iterable.__aiter__()
+        source._task = source._loop.create_task(
+            _anext_coroutine(iterator)
+        )
+        source._loop.run_until_complete(asyncio.sleep(0.01))
+        assert not source._task.done()
+        source.close()
+        assert states == ["cancelled"]
+        assert source._loop is None
+        source.close()  # idempotent
 
 
 # ---------------------------------------------------------------------------
