@@ -12,6 +12,7 @@ import time
 import repro.core.composition as comp
 from repro.baselines import ExactFilter
 from repro.data import QS0
+from repro.engine import FilterEngine, clear_kernels
 from repro.eval.harness import DatasetView, evaluate_expression
 from repro.eval.report import render_table
 
@@ -44,6 +45,12 @@ def test_software_throughput(benchmark):
     warm = evaluate_expression(view, expr, cache={})
     warm_seconds = time.perf_counter() - started
 
+    clear_kernels()
+    compiled_engine = FilterEngine(backend="compiled")
+    started = time.perf_counter()
+    fused = compiled_engine.match_bits(expr, data)
+    compiled_seconds = time.perf_counter() - started
+
     started = time.perf_counter()
     ExactFilter(QS0).match_array(data)
     # truth_array is cached on the dataset; force a real parse pass
@@ -61,6 +68,8 @@ def test_software_throughput(benchmark):
          f"{total_mb / vectorised_seconds:.0f} MB/s"],
         ["vectorised filter (warm view)",
          f"{total_mb / warm_seconds:.0f} MB/s"],
+        ["compiled fused kernel (cold)",
+         f"{total_mb / compiled_seconds:.0f} MB/s"],
         ["exact JSON parse (pure Python)",
          f"{total_mb / parse_seconds:.1f} MB/s"],
         ["FPGA lane model (for scale)", "1340 MB/s"],
@@ -73,3 +82,4 @@ def test_software_throughput(benchmark):
 
     assert accepted.shape[0] == len(data)
     assert warm.tolist() == accepted.tolist()
+    assert fused.tolist() == accepted.tolist()

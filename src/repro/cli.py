@@ -372,6 +372,24 @@ def _merge_back_line(engine, backend, repeat, previous_hit_rate):
     return [line]
 
 
+def _print_selectivity(table, limit=8):
+    """Observed per-atom pass rates, most selective first (stderr)."""
+    if not table:
+        return
+    shown = list(table.items())[:limit]
+    print("observed selectivity (pass rate, most selective first):",
+          file=sys.stderr)
+    for notation, row in shown:
+        print(
+            f"  {row['selectivity']:7.1%}  {notation} "
+            f"({row['passed']}/{row['evaluated']})",
+            file=sys.stderr,
+        )
+    hidden = len(table) - len(shown)
+    if hidden > 0:
+        print(f"  ... {hidden} more atoms", file=sys.stderr)
+
+
 def _cache_delta(before, after):
     """Per-pass hits/misses movement of the engine's AtomCache."""
     if before is None or after is None:
@@ -443,6 +461,11 @@ def cmd_bench(args):
                     cache_before, stats["cache"]
                 ),
                 "workers": stats["workers"],
+                # cumulative fused-kernel counters as of this pass
+                "compiled": (
+                    dict(stats["compiled"])
+                    if stats["compiled"] is not None else None
+                ),
             })
     print(render_table(
         ["Backend", "Records", "Accepted", "Seconds", "MB/s"],
@@ -472,6 +495,18 @@ def cmd_bench(args):
             f"{cache_stats['evictions']} evictions",
             file=sys.stderr,
         )
+    final_stats = engine.stats()
+    _print_selectivity(final_stats["selectivity"])
+    compiled_stats = final_stats["compiled"]
+    if compiled_stats is not None:
+        print(
+            "compiled kernels: "
+            f"{compiled_stats['kernels_compiled']} compiled / "
+            f"{compiled_stats['kernels_reused']} reused, "
+            f"{compiled_stats['atoms_short_circuited']} record-scans "
+            "short-circuited",
+            file=sys.stderr,
+        )
     if args.json:
         document = {
             "benchmark": "repro-bench",
@@ -488,6 +523,8 @@ def cmd_bench(args):
             },
             "passes": passes,
             "cache": cache_stats,
+            "selectivity": final_stats["selectivity"],
+            "compiled": compiled_stats,
         }
         with open(args.json, "w") as handle:
             json.dump(document, handle, indent=2, default=str)
@@ -670,7 +707,7 @@ def build_arg_parser():
     bench.add_argument("--seed", type=int, default=None)
     bench.add_argument("--inflate-bytes", type=int, default=0,
                        help="repeat records up to this stream size")
-    bench.add_argument("--backends", default="vectorized,scalar",
+    bench.add_argument("--backends", default="compiled,vectorized,scalar",
                        help="comma-separated backend names to compare")
     bench.add_argument(
         "--cache", action=argparse.BooleanOptionalAction, default=True,
@@ -709,8 +746,8 @@ def build_arg_parser():
         help="FilterEngine pool size (all share one AtomCache)",
     )
     serve.add_argument(
-        "--backend", default="vectorized",
-        choices=["vectorized", "scalar"],
+        "--backend", default="compiled",
+        choices=["compiled", "vectorized", "scalar"],
     )
     serve.add_argument(
         "--max-sessions", type=int, default=32,
@@ -781,7 +818,7 @@ def _add_engine_arguments(parser, with_backend=True):
     if with_backend:
         parser.add_argument(
             "--backend", default="vectorized",
-            choices=["vectorized", "scalar", "auto"],
+            choices=["compiled", "vectorized", "scalar", "auto"],
             help="engine evaluation backend",
         )
     parser.add_argument(

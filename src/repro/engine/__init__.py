@@ -5,11 +5,16 @@ Every consumer in the repo — the Fig. 4 SoC simulation, the CLI's
 harness — obtains per-record match bits from one
 :class:`FilterEngine`, with pluggable backends:
 
+* ``compiled`` — fused-kernel evaluation
+  (:mod:`repro.engine.compiled`): one generated function per filter,
+  single selectivity-ordered pass with short-circuiting, the serial
+  hot path (and the :class:`repro.serve` gateway default);
 * ``vectorized`` — dataset-scale numpy evaluation
-  (:mod:`repro.eval.harness`), the production path;
+  (:mod:`repro.eval.harness`), one sweep per atom, the design-space
+  exploration path;
 * ``scalar`` — per-record behavioural evaluation
   (:func:`repro.core.composition.evaluate_record`), the reference
-  oracle the vectorised path is cross-checked against.
+  oracle the other paths are cross-checked against.
 
 The engine also executes **chunked streams** behind two pluggable
 layers that model the paper's ingest/evaluation boundary explicitly:
@@ -46,6 +51,12 @@ from .backends import (
     record_matcher,
     resolve_backend,
     resolve_expression,
+)
+from .compiled import (
+    CompiledBackend,
+    CompiledKernel,
+    SelectivityTracker,
+    clear_kernels,
 )
 from .engine import (
     DEFAULT_CHUNK_BYTES,
@@ -88,6 +99,10 @@ __all__ = [
     "record_matcher",
     "resolve_backend",
     "resolve_expression",
+    "CompiledBackend",
+    "CompiledKernel",
+    "SelectivityTracker",
+    "clear_kernels",
     "DEFAULT_CHUNK_BYTES",
     "DEFAULT_TRANSPORT",
     "EngineConfig",

@@ -107,26 +107,41 @@ class VectorizedBackend(Backend):
     per-atom masks and the per-corpus ``DatasetView`` are memoised by
     dataset content, so repeated evaluation over the same records —
     different queries sharing atoms, re-streamed chunks, reconfigured
-    filters — skips the vectorised sweeps entirely.
+    filters — skips the vectorised sweeps entirely.  Without a cache,
+    the most recent batch's ``DatasetView`` is still memoised by batch
+    identity, so repeated queries over the same in-memory records do
+    not pay the token-matrix/structural rebuilds.
     """
 
     name = "vectorized"
+    #: streaming resolves the predicate to its expression once per
+    #: stream for this backend (see FilterEngine._stream_target)
+    wants_expression = True
 
-    def __init__(self, scalar_fallback=True, atom_cache=None):
+    def __init__(self, scalar_fallback=True, atom_cache=None,
+                 selectivity=None):
         self.scalar_fallback = scalar_fallback
         self.atom_cache = atom_cache
+        #: optional SelectivityTracker fed with per-atom pass rates
+        #: (attached by the owning engine; shared with the compiled
+        #: backend's ordering decision)
+        self.selectivity = selectivity
         self._scalar = ScalarBackend()
+        self._view_memo = None
 
     def match_bits(self, predicate, records):
         expr = resolve_expression(predicate)
         if expr is not None:
             dataset = as_dataset(records)
             if self.atom_cache is not None:
-                return self.atom_cache.match_bits(expr, dataset)
-            view = DatasetView(dataset)
-            return np.asarray(
-                evaluate_expression(view, expr), dtype=bool
-            )
+                view = self.atom_cache.view_for(dataset)
+                cache = self.atom_cache.evaluation_cache(dataset)
+            else:
+                view = self._memoised_view(records, dataset)
+                cache = {}
+            bits = evaluate_expression(view, expr, cache)
+            self._observe(expr, cache)
+            return np.array(bits, dtype=bool)
         match_array = getattr(predicate, "match_array", None)
         if callable(match_array):
             return np.asarray(match_array(as_dataset(records)), dtype=bool)
@@ -136,10 +151,47 @@ class VectorizedBackend(Backend):
             f"no vectorised evaluation for {predicate!r}"
         )
 
+    def _memoised_view(self, records, dataset):
+        """One-slot DatasetView memo keyed by batch object identity.
+
+        Identity (not content) keeps the cache-disabled path free of
+        hashing; re-evaluating the same records list/Dataset — the
+        repeated-query and per-chunk streaming patterns — reuses the
+        token matrix and structural masks instead of rebuilding them.
+        """
+        memo = self._view_memo
+        if memo is not None and memo[0] is records:
+            return memo[1]
+        view = DatasetView(dataset)
+        self._view_memo = (records, view)
+        return view
+
+    def _observe(self, expr, cache):
+        """Harvest observed per-atom pass rates from the evaluation."""
+        tracker = self.selectivity
+        if tracker is None:
+            return
+        local = getattr(cache, "_local", cache)
+        for atom in expr.atoms():
+            bits = local.get(atom.cache_key())
+            if bits is not None:
+                tracker.observe(
+                    atom, int(bits.shape[0]),
+                    int(np.count_nonzero(bits)),
+                )
+
+
+def _compiled_factory():
+    # imported lazily: compiled.py builds on this module
+    from .compiled import CompiledBackend
+
+    return CompiledBackend()
+
 
 BACKENDS = {
     "vectorized": VectorizedBackend,
     "scalar": ScalarBackend,
+    "compiled": _compiled_factory,
     "auto": VectorizedBackend,
 }
 

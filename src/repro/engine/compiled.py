@@ -1,0 +1,869 @@
+"""Compiled fused-kernel backend: specialise the whole filter into one pass.
+
+The vectorised backend evaluates a filter the way the harness does:
+every atom sweeps the *entire* concatenated byte stream, and the
+expression tree combines the resulting per-record masks.  That is the
+right shape for design-space exploration (each atom evaluated once,
+~10^5 candidate conjunctions composed from the cached masks) but the
+wrong shape for the serial filtering hot path, where one fixed filter
+runs over a stream once: most records are rejected by one dominant
+atom, yet every later atom still scans their bytes.
+
+This module applies the paper's core move — *specialise the datapath to
+the filter* — in software.  For a resolved
+:class:`~repro.core.composition.RawFilter` expression it generates a
+**fused kernel**: one Python function, built once per filter via
+codegen + ``compile()``/``exec``, that performs a single
+selectivity-ordered pass over the record batch:
+
+* the expression is decomposed into an evaluation *plan*: the top-level
+  conjuncts, plus cheap **prefilter** steps derived from structural
+  groups (a group can only match a record in which each child fires
+  *somewhere*, so the record-level child atoms are necessary
+  conditions evaluated long before the structural machinery runs);
+* steps run in selectivity order — seeded from the
+  :mod:`repro.core.cost` ranking, refined online from observed per-atom
+  pass rates (first batch of a kernel's life additionally samples a
+  head slice of records so even the first ordering decision is
+  informed);
+* each step only touches the bytes of records still alive: rejected
+  records are **masked out of every later atom's scan** by gathering
+  the survivors into a compact sub-stream, so the expensive primitives
+  (token-matrix builds, structural masks, regex loops) run over a
+  shrinking fraction of the input;
+* kernels are cached process-wide by filter fingerprint
+  (``expr.cache_key()``), so gateway ``SWAP`` traffic and design-space
+  sweeps reuse compilations, and the kernel composes with the
+  :class:`~repro.engine.atom_cache.AtomCache`: cached per-atom masks
+  feed the fused pass as precomputed inputs instead of forcing a
+  re-scan, and masks the kernel computes over the full batch are
+  inserted back.
+
+Correctness contract: the kernel is bit-identical to the **scalar
+oracle** (:func:`repro.core.composition.evaluate_record`).  Evaluating
+survivors as their own sub-stream relies on record-local matcher state
+— needles never span the newline separator, numeric tokens are closed
+by it, and structural quote/scope state is record-local on the
+newline-delimited JSON records this repo processes — which is the same
+framing property the stream-level vectorised evaluator and the
+hardware's ``record_reset`` already depend on.  Predicates with no
+raw-filter expression form degrade to the vectorized path with a
+once-per-backend warning (see :meth:`CompiledBackend.stats`).
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core import composition as comp
+from ..eval import harness
+from .atom_cache import dataset_fingerprint
+from .backends import (
+    Backend,
+    VectorizedBackend,
+    as_dataset,
+    resolve_expression,
+)
+
+#: pass-rate prior for atoms never observed (and not sampled yet)
+DEFAULT_SELECTIVITY = 0.5
+#: head-of-batch record sample used to seed a kernel's first ordering
+SAMPLE_RECORDS = 256
+#: optional prefilter steps observed to reject fewer than this fraction
+#: of records are dropped from the order — their scan costs more than
+#: the records they would mask out of later atoms
+PREFILTER_DROP_SELECTIVITY = 0.9
+#: process-wide compiled-kernel LRU bound (design-space sweeps compile
+#: many distinct candidate filters; the registry must not grow with them)
+KERNEL_CACHE_SIZE = 512
+#: a step's survivors are gathered into a compact sub-stream only when
+#: fewer than this fraction of the scanned records survive — weaker
+#: rejections are folded into a pending mask over the shared view
+SHRINK_THRESHOLD = 0.7
+
+
+# ---------------------------------------------------------------------------
+# observed selectivity
+# ---------------------------------------------------------------------------
+
+class SelectivityTracker:
+    """Cumulative observed per-atom pass rates.
+
+    Fed by both the compiled kernel (per step) and the vectorised
+    backend (harvested from its per-atom masks), read by the kernel's
+    ordering decision and exposed through
+    ``engine.stats()["selectivity"]`` — the observability hook the
+    ROADMAP's online-adaptive-filtering item needs.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stats = {}  # cache_key -> [notation, evaluated, passed]
+
+    def observe(self, atom, evaluated, passed):
+        """Record that ``atom`` passed ``passed`` of ``evaluated`` records."""
+        if evaluated <= 0:
+            return
+        key = atom.cache_key()
+        with self._lock:
+            entry = self._stats.get(key)
+            if entry is None:
+                self._stats[key] = [atom.notation(), evaluated, passed]
+            else:
+                entry[1] += evaluated
+                entry[2] += passed
+
+    def rate(self, atom, default=None):
+        """Observed pass rate of ``atom`` (``default`` if never seen)."""
+        entry = self._stats.get(atom.cache_key())
+        if entry is None or entry[1] == 0:
+            return default
+        return entry[2] / entry[1]
+
+    def snapshot(self):
+        """``{notation: {evaluated, passed, selectivity}}``, most
+        selective (lowest pass rate) first."""
+        with self._lock:
+            rows = [
+                (notation, evaluated, passed)
+                for notation, evaluated, passed in self._stats.values()
+            ]
+        rows.sort(key=lambda row: (row[2] / row[1], row[0]))
+        return {
+            notation: {
+                "evaluated": evaluated,
+                "passed": passed,
+                "selectivity": passed / evaluated,
+            }
+            for notation, evaluated, passed in rows
+        }
+
+    def clear(self):
+        with self._lock:
+            self._stats.clear()
+
+    def __repr__(self):
+        return f"SelectivityTracker(atoms={len(self._stats)})"
+
+
+# ---------------------------------------------------------------------------
+# cost seeds (the static half of the ordering decision)
+# ---------------------------------------------------------------------------
+
+_COST_SEEDS = {}
+_COST_LOCK = threading.Lock()
+
+#: analytic mirror of the LUT model's per-kind shape (see cost_seed);
+#: the structural-tracker share every group carries
+_GROUP_TRACKER_COST = 36.0
+_REGEX_COST = 640.0
+
+
+def _analytic_cost(atom):
+    """Closed-form stand-in for ``atom_luts`` with the same ranking.
+
+    Calibrated against synthesised atoms (a short string matcher ~9
+    LUTs, a float range DFA ~70, a two-child group ~115): string
+    matchers scale with needle length, number filters with DFA state
+    count, groups pay one structural tracker plus their children.
+    """
+    if isinstance(atom, comp.StringPredicate):
+        return 4.0 + float(len(atom.needle))
+    if isinstance(atom, comp.NumberPredicate):
+        try:
+            states = len(atom.dfa.transitions)
+        except Exception:
+            states = 16
+        return 8.0 + 4.0 * float(states)
+    if isinstance(atom, comp.Group):
+        return _GROUP_TRACKER_COST + sum(
+            _analytic_cost(child) for child in atom.children
+        )
+    if isinstance(atom, comp.RegexPredicate):
+        return _REGEX_COST
+    if isinstance(atom, (comp.And, comp.Or)):
+        return 2.0 + sum(
+            _analytic_cost(child) for child in atom.children
+        )
+    return 256.0
+
+
+def cost_seed(atom):
+    """Relative evaluation cost of one atom, per the LUT cost model.
+
+    Uses :mod:`repro.core.cost`'s already synthesised LUT counts for
+    free when a design-space sweep has costed the atom — the same
+    ranking the hardware Pareto search uses — and otherwise mirrors
+    that model analytically: triggering circuit synthesis (~0.1s per
+    atom) from the serial hot path would dwarf the sweeps the ordering
+    exists to save.
+    """
+    key = atom.cache_key()
+    with _COST_LOCK:
+        cached = _COST_SEEDS.get(key)
+    if cached is not None:
+        return cached
+    value = None
+    try:
+        from ..core.cost import _ATOM_CACHE
+
+        synthesised = _ATOM_CACHE.get((key, 6))
+        if synthesised is not None:
+            value = float(synthesised)
+    except Exception:
+        pass
+    if value is None:
+        value = _analytic_cost(atom)
+    value = max(value, 1.0)
+    with _COST_LOCK:
+        _COST_SEEDS[key] = value
+    return value
+
+
+# ---------------------------------------------------------------------------
+# evaluation plans
+# ---------------------------------------------------------------------------
+
+class KernelStep:
+    """One step of a fused kernel's evaluation plan.
+
+    ``kind`` is one of:
+
+    * ``"exact"`` — a mandatory top-level conjunct (AND plans);
+    * ``"prefilter"`` — an optional necessary condition derived from a
+      structural group's children, run early to shrink the active set;
+    * ``"disjunct"`` — a mandatory child of a top-level OR plan,
+      evaluated over the records no earlier disjunct accepted.
+    """
+
+    __slots__ = ("index", "atom", "kind", "conjunct")
+
+    def __init__(self, index, atom, kind, conjunct):
+        self.index = index
+        self.atom = atom
+        self.kind = kind
+        self.conjunct = conjunct
+
+    def __repr__(self):
+        return (
+            f"KernelStep(#{self.index} {self.kind} "
+            f"{self.atom.notation()})"
+        )
+
+
+class KernelPlan:
+    """The decomposition of one expression into orderable steps."""
+
+    __slots__ = ("expr", "mode", "steps")
+
+    def __init__(self, expr, mode, steps):
+        self.expr = expr
+        self.mode = mode  # "and" | "or"
+        self.steps = tuple(steps)
+
+    def __repr__(self):
+        return (
+            f"KernelPlan({self.mode}, steps={len(self.steps)}: "
+            f"{self.expr.notation()})"
+        )
+
+
+def _flatten_and(expr):
+    for child in expr.children:
+        if isinstance(child, comp.And):
+            yield from _flatten_and(child)
+        else:
+            yield child
+
+
+def build_plan(expr):
+    """Decompose an expression into prefilter + exact kernel steps."""
+    steps = []
+    if isinstance(expr, comp.Or):
+        for position, child in enumerate(expr.children):
+            steps.append(
+                KernelStep(len(steps), child, "disjunct", position)
+            )
+        return KernelPlan(expr, "or", steps)
+    if isinstance(expr, comp.And):
+        conjuncts = list(_flatten_and(expr))
+    else:
+        conjuncts = [expr]
+    seen = {conjunct.cache_key() for conjunct in conjuncts}
+    for position, conjunct in enumerate(conjuncts):
+        if not isinstance(conjunct, comp.Group):
+            continue
+        # a group fires only if every child fires somewhere in the
+        # record: each child is a necessary record-level condition,
+        # far cheaper than the structural machinery it guards
+        for child in conjunct.children:
+            key = child.cache_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            steps.append(
+                KernelStep(len(steps), child, "prefilter", position)
+            )
+    for position, conjunct in enumerate(conjuncts):
+        steps.append(
+            KernelStep(len(steps), conjunct, "exact", position)
+        )
+    return KernelPlan(expr, "and", steps)
+
+
+# ---------------------------------------------------------------------------
+# codegen
+# ---------------------------------------------------------------------------
+
+def generate_kernel_source(plan):
+    """Emit the Python source of one fused kernel.
+
+    One ``_step_<i>`` function per plan step — atom constants are bound
+    by name in the kernel's exec namespace, string predicates get a
+    direct ``record_match_array`` fast path, everything else funnels
+    through the audited harness primitives over the surviving
+    sub-stream — plus the ``kernel`` driver that dispatches the steps
+    in the selectivity order chosen per batch.
+    """
+    lines = []
+    emit = lines.append
+    emit(f"# fused kernel: {plan.expr.notation()}")
+    emit(f"# plan: {plan.mode}, {len(plan.steps)} steps")
+    emit("")
+    for step in plan.steps:
+        apply_call = (
+            "ctx.accumulate" if step.kind == "disjunct" else "ctx.refine"
+        )
+        emit(f"def _step_{step.index}(ctx, state):")
+        emit(f"    # {step.kind}: {step.atom.notation()}")
+        emit(f"    bits = ctx.precomputed_bits(state, {step.index})")
+        emit("    if bits is None:")
+        if isinstance(step.atom, comp.StringPredicate):
+            emit(
+                f"        bits = ctx.string_bits(state, "
+                f"NEEDLE_{step.index}, BLOCK_{step.index})"
+            )
+            emit(f"        ctx.store(state, {step.index}, bits)")
+        else:
+            emit(
+                f"        bits = ctx.atom_bits(state, "
+                f"ATOM_{step.index})"
+            )
+        emit(f"    {apply_call}(state, bits, {step.index})")
+        emit("")
+    names = ", ".join(f"_step_{step.index}" for step in plan.steps)
+    if len(plan.steps) == 1:
+        names += ","
+    emit(f"_STEPS = ({names})")
+    emit("")
+    emit("def kernel(ctx, state, order):")
+    emit("    remaining = len(order)")
+    emit("    for index in order:")
+    emit("        if state.n_active == 0:")
+    emit("            ctx.note_skipped(state, remaining)")
+    emit("            break")
+    emit("        _STEPS[index](ctx, state)")
+    emit("        remaining -= 1")
+    emit("    return ctx.finish(state)")
+    return "\n".join(lines) + "\n"
+
+
+class CompiledKernel:
+    """One filter, compiled: plan + generated source + callable."""
+
+    __slots__ = ("expr", "plan", "source", "fn")
+
+    def __init__(self, expr):
+        self.expr = expr
+        self.plan = build_plan(expr)
+        self.source = generate_kernel_source(self.plan)
+        namespace = {"np": np}
+        for step in self.plan.steps:
+            namespace[f"ATOM_{step.index}"] = step.atom
+            if isinstance(step.atom, comp.StringPredicate):
+                namespace[f"NEEDLE_{step.index}"] = step.atom.needle
+                namespace[f"BLOCK_{step.index}"] = step.atom.block
+        code = compile(
+            self.source,
+            f"<repro-kernel {self.expr.notation()[:60]}>",
+            "exec",
+        )
+        exec(code, namespace)  # noqa: S102 - our own generated source
+        self.fn = namespace["kernel"]
+
+    def __repr__(self):
+        return f"CompiledKernel({self.expr.notation()})"
+
+
+#: process-wide kernel registry: gateway SWAPs and design-space sweeps
+#: over recurring filters reuse compilations across engines and workers
+_KERNELS = OrderedDict()
+_KERNELS_LOCK = threading.Lock()
+
+
+def kernel_for(expr):
+    """``(kernel, reused)`` for an expression, LRU-cached by fingerprint."""
+    key = expr.cache_key()
+    with _KERNELS_LOCK:
+        kernel = _KERNELS.get(key)
+        if kernel is not None:
+            _KERNELS.move_to_end(key)
+            return kernel, True
+    kernel = CompiledKernel(expr)
+    with _KERNELS_LOCK:
+        if key in _KERNELS:  # raced another thread; keep the winner
+            return _KERNELS[key], True
+        _KERNELS[key] = kernel
+        while len(_KERNELS) > KERNEL_CACHE_SIZE:
+            _KERNELS.popitem(last=False)
+    return kernel, False
+
+
+def compiled_kernel_count():
+    return len(_KERNELS)
+
+
+def clear_kernels():
+    """Drop all cached kernels (tests / cold benchmarks)."""
+    with _KERNELS_LOCK:
+        _KERNELS.clear()
+
+
+# ---------------------------------------------------------------------------
+# per-batch execution state
+# ---------------------------------------------------------------------------
+
+class _SubBatch:
+    """Dataset-protocol view over the surviving records' sub-stream.
+
+    Quacks like :class:`repro.data.corpus.Dataset` for everything the
+    evaluation harness touches (``stream``, ``starts``, ``len``, record
+    iteration for scalar fallbacks) without materialising a record
+    list.
+    """
+
+    __slots__ = ("stream", "starts", "name")
+
+    def __init__(self, stream, starts):
+        self.stream = stream
+        self.starts = starts
+        self.name = "kernel-subbatch"
+
+    def __len__(self):
+        return int(self.starts.shape[0])
+
+    def __iter__(self):
+        bounds = np.concatenate(
+            (self.starts, [self.stream.shape[0]])
+        )
+        blob = self.stream.tobytes()
+        for start, end in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+            yield blob[start:end - 1]  # strip the trailing newline
+
+    @property
+    def total_bytes(self):
+        return int(self.stream.shape[0])
+
+
+def _gather(stream, starts, lengths, indices):
+    """Compact (sub_stream, sub_starts) of the selected records."""
+    selected = lengths[indices]
+    count = indices.shape[0]
+    sub_starts = np.zeros(count, dtype=np.int64)
+    if count > 1:
+        np.cumsum(selected[:-1], out=sub_starts[1:])
+    total = int(selected.sum())
+    record_of = np.repeat(np.arange(count), selected)
+    offsets = np.arange(total, dtype=np.int64) - sub_starts[record_of]
+    positions = starts[indices][record_of] + offsets
+    return stream[positions], sub_starts
+
+
+class KernelState:
+    """Mutable per-batch state threaded through one kernel invocation."""
+
+    __slots__ = ("dataset", "plan", "stream", "starts", "lengths",
+                 "num_records", "active", "pending", "result", "full",
+                 "view", "cache", "fingerprint", "precomputed",
+                 "short_circuited", "steps_run", "steps_skipped")
+
+    def __init__(self, dataset, plan):
+        self.dataset = dataset
+        self.plan = plan
+        self.stream = dataset.stream
+        self.starts = dataset.starts
+        total = self.stream.shape[0]
+        self.lengths = np.diff(
+            np.concatenate((self.starts, [total]))
+        )
+        self.num_records = len(dataset)
+        self.active = np.arange(self.num_records, dtype=np.int64)
+        #: lazily applied rejections over ``active``: when a step
+        #: rejects too few records to pay for a gather, the survivors
+        #: are tracked here and the shared view is kept (see
+        #: CompiledBackend.refine)
+        self.pending = None
+        self.result = np.zeros(self.num_records, dtype=bool)
+        self.full = True
+        self.view = None
+        self.cache = None
+        self.fingerprint = None
+        self.precomputed = {}
+        #: record-scans later atoms were spared by earlier rejections
+        self.short_circuited = 0
+        self.steps_run = 0
+        self.steps_skipped = 0
+
+    @property
+    def n_active(self):
+        if self.pending is not None:
+            return int(np.count_nonzero(self.pending))
+        return int(self.active.shape[0])
+
+    def invalidate(self):
+        """The active set changed: sub-views are stale."""
+        self.view = None
+        self.cache = None
+        self.full = self.active.shape[0] == self.num_records
+
+
+# ---------------------------------------------------------------------------
+# the backend
+# ---------------------------------------------------------------------------
+
+class CompiledBackend(Backend):
+    """Fused-kernel evaluation of raw-filter expressions.
+
+    Acts as the kernel context (``ctx``) for its compiled kernels: the
+    generated step functions call back into :meth:`precomputed_bits` /
+    :meth:`string_bits` / :meth:`atom_bits` / :meth:`refine` /
+    :meth:`accumulate`, keeping all counters and cache integration in
+    one place while the generated code carries the per-filter
+    specialisation (step set, constants, dispatch).
+    """
+
+    name = "compiled"
+    #: streaming resolves the predicate to its expression once per
+    #: stream for this backend (see FilterEngine._stream_target)
+    wants_expression = True
+
+    def __init__(self, scalar_fallback=True, atom_cache=None,
+                 selectivity=None):
+        self.scalar_fallback = scalar_fallback
+        self.atom_cache = atom_cache
+        #: shared tracker (attached by the owning engine); lazily
+        #: created when the backend runs standalone
+        self.selectivity = selectivity
+        self.kernels_compiled = 0
+        self.kernels_reused = 0
+        self.atoms_short_circuited = 0
+        self.fallbacks = 0
+        self.fallback_reason = None
+        self._fallback_warned = False
+        self._vectorized = VectorizedBackend(
+            scalar_fallback=scalar_fallback
+        )
+        self._sampled = set()
+
+    # -- tracker ------------------------------------------------------------
+
+    def tracker(self):
+        if self.selectivity is None:
+            self.selectivity = SelectivityTracker()
+        return self.selectivity
+
+    # -- entry point --------------------------------------------------------
+
+    def match_bits(self, predicate, records):
+        expr = resolve_expression(predicate)
+        if expr is None:
+            return self._fallback(predicate, records)
+        dataset = as_dataset(records)
+        if len(dataset) == 0:
+            return np.zeros(0, dtype=bool)
+        kernel, reused = kernel_for(expr)
+        if reused:
+            self.kernels_reused += 1
+        else:
+            self.kernels_compiled += 1
+        state = KernelState(dataset, kernel.plan)
+        if self.atom_cache is not None:
+            state.fingerprint = dataset_fingerprint(dataset)
+            # whole-expression mask first — repeated corpora (warm
+            # gateway tenants, re-streamed chunks) skip the kernel
+            # entirely, exactly like the vectorised cached path
+            cached = self.atom_cache.lookup(
+                state.fingerprint, expr.cache_key()
+            )
+            if cached is not None:
+                return np.array(cached, dtype=bool)
+            self._probe_cache(state)
+        self._seed_selectivity(kernel, state)
+        order = self.order_for(kernel.plan)
+        bits = kernel.fn(self, state, order)
+        self.atoms_short_circuited += state.short_circuited
+        if self.atom_cache is not None and state.fingerprint is not None:
+            # the finished result is always a full-batch mask; caching
+            # it under the root key makes the next evaluation of this
+            # (filter, corpus) pair a single lookup
+            self.atom_cache.put(
+                state.fingerprint, expr.cache_key(), bits
+            )
+            return np.array(bits, dtype=bool)
+        return bits
+
+    def _fallback(self, predicate, records):
+        """Degrade to the vectorized path (match_array / scalar loop)."""
+        reason = (
+            f"predicate {predicate!r} has no raw-filter expression "
+            "form (as_raw_filter); evaluated via the vectorized path"
+        )
+        self.fallbacks += 1
+        self.fallback_reason = reason
+        if not self._fallback_warned:
+            self._fallback_warned = True
+            warnings.warn(
+                "compiled backend: " + reason +
+                " (see engine.stats()['compiled_fallback'])",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self._vectorized.atom_cache = self.atom_cache
+        self._vectorized.selectivity = self.selectivity
+        return self._vectorized.match_bits(predicate, records)
+
+    # -- ordering -----------------------------------------------------------
+
+    def _seed_selectivity(self, kernel, state):
+        """First batch of a kernel's life: sample a head slice.
+
+        Evaluating every step atom over the first few hundred records
+        costs a fraction of one full sweep and replaces the uniform
+        pass-rate prior with measured rates, so even the first
+        full-batch ordering decision is selectivity-informed.
+        """
+        key = kernel.expr.cache_key()
+        if key in self._sampled:
+            return
+        self._sampled.add(key)
+        count = min(SAMPLE_RECORDS, state.num_records)
+        if count <= 0:
+            return
+        # the head slice is contiguous: no gather needed
+        end = int(
+            state.starts[count]
+        ) if count < state.num_records else int(state.stream.shape[0])
+        sample = _SubBatch(state.stream[:end], state.starts[:count])
+        view = harness.DatasetView(sample)
+        cache = {}
+        tracker = self.tracker()
+        for step in kernel.plan.steps:
+            bits = harness.evaluate_atom(view, step.atom, cache)
+            tracker.observe(
+                step.atom, count, int(np.count_nonzero(bits))
+            )
+
+    def order_for(self, plan):
+        """Step order for one batch: rejection (or acceptance) per cost.
+
+        AND plans greedily run the step with the highest expected
+        ``(1 - pass_rate) / cost`` first — the classic selectivity
+        ordering; OR plans run the highest ``pass_rate / cost`` first
+        so accepted records skip the remaining disjuncts.  Optional
+        prefilters observed to reject almost nothing are dropped, as is
+        any prefilter ordered after its own conjunct's exact step.
+        """
+        tracker = self.tracker()
+        scored = []
+        for step in plan.steps:
+            rate = tracker.rate(step.atom, DEFAULT_SELECTIVITY)
+            if (step.kind == "prefilter"
+                    and rate >= PREFILTER_DROP_SELECTIVITY):
+                continue
+            gain = rate if plan.mode == "or" else 1.0 - rate
+            scored.append((-gain / cost_seed(step.atom), step.index))
+        scored.sort()
+        order = []
+        exact_done = set()
+        for _, index in scored:
+            step = plan.steps[index]
+            if (step.kind == "prefilter"
+                    and step.conjunct in exact_done):
+                continue  # its group already ran; nothing left to save
+            if step.kind == "exact":
+                exact_done.add(step.conjunct)
+            order.append(index)
+        return order
+
+    # -- kernel context (called from generated code) ------------------------
+
+    def _probe_cache(self, state):
+        """Feed cached atom masks into the pass as precomputed inputs."""
+        if self.atom_cache is None:
+            return
+        state.fingerprint = dataset_fingerprint(state.dataset)
+        for step in state.plan.steps:
+            bits = self.atom_cache.lookup(
+                state.fingerprint, step.atom.cache_key()
+            )
+            if bits is not None:
+                state.precomputed[step.index] = bits
+
+    def precomputed_bits(self, state, index):
+        """The cached full-batch mask for a step, cut to the active set."""
+        full = state.precomputed.get(index)
+        if full is None:
+            return None
+        if state.full:
+            return full
+        return full[state.active]
+
+    def _ensure_view(self, state):
+        if state.view is not None:
+            return
+        if state.full:
+            if self.atom_cache is not None:
+                state.view = self.atom_cache.view_for(state.dataset)
+                state.cache = self.atom_cache.evaluation_cache(
+                    state.dataset
+                )
+            else:
+                state.view = harness.DatasetView(state.dataset)
+                state.cache = {}
+        else:
+            stream, starts = _gather(
+                state.stream, state.starts, state.lengths, state.active
+            )
+            state.view = harness.DatasetView(_SubBatch(stream, starts))
+            state.cache = {}
+
+    def string_bits(self, state, needle, block):
+        """Direct string-matcher sweep over the surviving sub-stream."""
+        from ..core.string_match import record_match_array
+
+        self._ensure_view(state)
+        return record_match_array(
+            state.view.stream, state.view.starts, needle, block
+        )
+
+    def atom_bits(self, state, atom):
+        """Harness evaluation of one atom over the surviving records.
+
+        Full-batch evaluations with an :class:`AtomCache` attached run
+        through the shared evaluation cache, so masks and sub-results
+        (fire positions, token accepts) are stored exactly like the
+        vectorised backend stores them; sub-batch evaluations share a
+        state-local cache (token matrix, structure) between the steps
+        of the same active set.
+        """
+        self._ensure_view(state)
+        return harness.evaluate_atom(state.view, atom, state.cache)
+
+    def store(self, state, index, bits):
+        """Insert a full-batch mask into the shared AtomCache."""
+        if (self.atom_cache is None or not state.full
+                or state.fingerprint is None):
+            return
+        step = state.plan.steps[index]
+        self.atom_cache.put(
+            state.fingerprint, step.atom.cache_key(), bits
+        )
+
+    def refine(self, state, bits, index):
+        """AND-plan step result: shrink the active set (maybe lazily).
+
+        Gathering survivors into a compact sub-stream and rebuilding
+        the token/structural views only pays when a step rejected a
+        meaningful fraction of the records it scanned.  Below that
+        threshold the rejections are folded into a pending mask and
+        the shared view is kept — on weakly selective filters the
+        kernel thereby degrades gracefully to the vectorised shape
+        (every atom over one shared view) instead of paying gather
+        overhead for nothing.
+        """
+        bits = np.asarray(bits, dtype=bool)
+        step = state.plan.steps[index]
+        evaluated = int(bits.shape[0])
+        passed = int(np.count_nonzero(bits))
+        self.tracker().observe(step.atom, evaluated, passed)
+        state.short_circuited += state.num_records - evaluated
+        state.steps_run += 1
+        survivors = bits if state.pending is None else (
+            bits & state.pending
+        )
+        surviving = int(np.count_nonzero(survivors))
+        if surviving < SHRINK_THRESHOLD * evaluated:
+            if surviving != evaluated:
+                state.active = state.active[survivors]
+                state.invalidate()
+            state.pending = None
+        else:
+            state.pending = survivors
+
+    def accumulate(self, state, bits, index):
+        """OR-plan step result: accept, and mask accepted records out.
+
+        Mirrors :meth:`refine`'s lazy shrink: already-accepted records
+        are only gathered out of later disjuncts' scans once enough of
+        them have accumulated to pay for the gather.
+        """
+        bits = np.asarray(bits, dtype=bool)
+        step = state.plan.steps[index]
+        evaluated = int(bits.shape[0])
+        passed = int(np.count_nonzero(bits))
+        self.tracker().observe(step.atom, evaluated, passed)
+        state.short_circuited += state.num_records - evaluated
+        state.steps_run += 1
+        fresh = bits if state.pending is None else (
+            bits & state.pending
+        )
+        if fresh.any():
+            state.result[state.active[fresh]] = True
+        remaining = ~bits if state.pending is None else (
+            state.pending & ~bits
+        )
+        surviving = int(np.count_nonzero(remaining))
+        if surviving < SHRINK_THRESHOLD * evaluated:
+            if surviving != evaluated:
+                state.active = state.active[remaining]
+                state.invalidate()
+            state.pending = None
+        else:
+            state.pending = remaining
+
+    def note_skipped(self, state, remaining):
+        """The active set emptied: the rest of the order never scans."""
+        state.steps_skipped += remaining
+        state.short_circuited += remaining * state.num_records
+
+    def finish(self, state):
+        if state.plan.mode == "and":
+            accepted = state.active if state.pending is None else (
+                state.active[state.pending]
+            )
+            result = np.zeros(state.num_records, dtype=bool)
+            result[accepted] = True
+            state.result = result
+        return state.result
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self):
+        return {
+            "kernels_compiled": self.kernels_compiled,
+            "kernels_reused": self.kernels_reused,
+            "kernel_cache_size": compiled_kernel_count(),
+            "atoms_short_circuited": self.atoms_short_circuited,
+            "fallbacks": self.fallbacks,
+            "fallback_reason": self.fallback_reason,
+        }
+
+    def __repr__(self):
+        return (
+            f"CompiledBackend(compiled={self.kernels_compiled}, "
+            f"reused={self.kernels_reused})"
+        )

@@ -36,6 +36,7 @@ from .backends import (
     resolve_backend,
     resolve_expression,
 )
+from .compiled import CompiledBackend, SelectivityTracker
 from .framing import RecordFramer
 from .sources import ChunkSource, FileSource, as_chunk_source, ingest_dataset
 from .transport import resolve_mp_context, resolve_transport
@@ -163,6 +164,11 @@ class FilterEngine:
         #: queries, streams and chunk batches; ``cache=True`` builds a
         #: default-sized one, ``None``/``False`` disables caching
         self.atom_cache = as_atom_cache(cache)
+        #: observed per-atom pass rates, shared across this engine's
+        #: backends: fed by vectorised and compiled evaluation alike,
+        #: consumed by the compiled kernels' selectivity ordering and
+        #: surfaced through ``stats()["selectivity"]``
+        self.selectivity = SelectivityTracker()
         self._backends = {}
         #: per-worker counters of the most recent parallel stream
         self._worker_stats = None
@@ -185,10 +191,17 @@ class FilterEngine:
         return self._backends[name]
 
     def _attach_cache(self, instance):
+        """Share this engine's cache + selectivity with a backend.
+
+        Duck-typed on attribute presence so any backend exposing an
+        ``atom_cache`` / ``selectivity`` slot (vectorized, compiled,
+        third-party) participates; explicit per-backend wiring wins.
+        """
         if (self.atom_cache is not None
-                and isinstance(instance, VectorizedBackend)
-                and instance.atom_cache is None):
+                and getattr(instance, "atom_cache", False) is None):
             instance.atom_cache = self.atom_cache
+        if getattr(instance, "selectivity", False) is None:
+            instance.selectivity = self.selectivity
         return instance
 
     # -- whole-corpus evaluation --------------------------------------------
@@ -251,8 +264,16 @@ class FilterEngine:
         ``parallel_fallback`` is ``None`` unless the most recent
         ``num_workers > 1`` stream had to run serially, in which case
         it records why (e.g. an unpicklable predicate).
+        ``selectivity`` is the observed per-atom pass-rate table (most
+        selective first); ``compiled`` carries the fused-kernel
+        counters once the compiled backend has been used, and
+        ``compiled_fallback`` mirrors ``parallel_fallback`` for
+        predicates the compiled backend could not specialise.
         """
         cache = self.atom_cache
+        compiled = self._backends.get("compiled")
+        if not isinstance(compiled, CompiledBackend):
+            compiled = None
         return {
             "backend": self.config.backend,
             "chunk_bytes": self.config.chunk_bytes,
@@ -262,6 +283,11 @@ class FilterEngine:
             "cache": cache.stats() if cache is not None else None,
             "workers": self._worker_stats,
             "parallel_fallback": self._parallel_fallback,
+            "selectivity": self.selectivity.snapshot(),
+            "compiled": compiled.stats() if compiled else None,
+            "compiled_fallback": (
+                compiled.fallback_reason if compiled else None
+            ),
         }
 
     # -- chunked streaming --------------------------------------------------
@@ -327,13 +353,15 @@ class FilterEngine:
     def _stream_target(self, predicate, chosen):
         """Resolve the predicate once per stream, not once per chunk.
 
-        Vectorised streaming evaluates the same predicate for every
-        framed batch; lowering it to its raw-filter expression up front
-        carries the compiled atom state (number-range DFAs, needle gram
-        sets) across chunk batches instead of re-deriving it per chunk.
-        Predicates without an expression form pass through unchanged.
+        Expression-oriented backends (vectorized, compiled — anything
+        declaring ``wants_expression``) evaluate the same predicate for
+        every framed batch; lowering it to its raw-filter expression up
+        front carries the compiled atom state (number-range DFAs,
+        needle gram sets, fused-kernel lookups) across chunk batches
+        instead of re-deriving it per chunk.  Predicates without an
+        expression form pass through unchanged.
         """
-        if isinstance(chosen, VectorizedBackend):
+        if getattr(chosen, "wants_expression", False):
             expression = resolve_expression(predicate)
             if expression is not None:
                 return expression

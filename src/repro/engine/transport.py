@@ -100,11 +100,7 @@ _WORKER = {}
 
 def _worker_init(payload, backend_name, cache_snapshot):
     from .atom_cache import AtomCache
-    from .backends import (
-        VectorizedBackend,
-        resolve_backend,
-        resolve_expression,
-    )
+    from .backends import resolve_backend, resolve_expression
 
     predicate = pickle.loads(payload)
     backend = resolve_backend(backend_name)
@@ -115,9 +111,13 @@ def _worker_init(payload, backend_name, cache_snapshot):
         # everything inserted past this point is state the parent does
         # not have yet — each result ships it back for merge_snapshot()
         cache.track_deltas()
-        if isinstance(backend, VectorizedBackend):
+        if getattr(backend, "atom_cache", False) is None:
             backend.atom_cache = cache
-    if isinstance(backend, VectorizedBackend):
+    if getattr(backend, "wants_expression", False):
+        # expression-oriented backends (vectorized, compiled) resolve
+        # the shipped predicate once per worker; the compiled backend
+        # then recompiles its fused kernel from the expression locally
+        # — kernels themselves are never pickled across the transport
         expression = resolve_expression(predicate)
         if expression is not None:
             predicate = expression

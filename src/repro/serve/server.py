@@ -69,7 +69,7 @@ class EnginePool:
     ``size`` engines without tying a session to an engine.
     """
 
-    def __init__(self, size=2, cache=True, backend="vectorized"):
+    def __init__(self, size=2, cache=True, backend="compiled"):
         if size <= 0:
             raise GatewayError("engine pool size must be positive")
         if cache is True:
@@ -377,7 +377,7 @@ class FilterGateway:
     """A multi-tenant streaming filter service on one listen socket."""
 
     def __init__(self, host="127.0.0.1", port=0, *, engines=2,
-                 cache=True, backend="vectorized", max_sessions=32,
+                 cache=True, backend="compiled", max_sessions=32,
                  max_inflight_bytes=64 << 20, queue_chunks=8,
                  drain_timeout=5.0):
         if max_sessions <= 0:

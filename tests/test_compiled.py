@@ -1,0 +1,538 @@
+"""Tests for the compiled fused-kernel backend.
+
+The contract under test: ``backend="compiled"`` is bit-identical to the
+scalar reference oracle (and therefore to the vectorised backend) on
+every expression shape it specialises — including the short-circuit
+path, precomputed AtomCache inputs, worker transports and seam-fuzzed
+chunk streaming — and degrades loudly but correctly on predicates it
+cannot specialise.
+"""
+
+import random
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.composition as comp
+from repro.data import load_dataset
+from repro.engine import (
+    AtomCache,
+    CompiledBackend,
+    EngineConfig,
+    FilterEngine,
+    SelectivityTracker,
+    VectorizedBackend,
+    clear_kernels,
+    resolve_backend,
+)
+from repro.engine.compiled import (
+    KernelPlan,
+    build_plan,
+    cost_seed,
+    generate_kernel_source,
+    kernel_for,
+)
+
+
+def qs1_style_filter():
+    return comp.And([
+        comp.group(comp.s("temperature", 1), comp.v("-12.5", "43.1")),
+        comp.group(comp.s("light", 1), comp.v("1345", "26282")),
+    ])
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_dataset("smartcity", 300, seed=11)
+
+
+# ---------------------------------------------------------------------------
+# selectivity tracking
+# ---------------------------------------------------------------------------
+
+class TestSelectivityTracker:
+    def test_rates_accumulate_across_observations(self):
+        tracker = SelectivityTracker()
+        atom = comp.s("temperature", 1)
+        assert tracker.rate(atom) is None
+        assert tracker.rate(atom, 0.5) == 0.5
+        tracker.observe(atom, 100, 25)
+        tracker.observe(atom, 100, 35)
+        assert tracker.rate(atom) == pytest.approx(0.3)
+
+    def test_snapshot_sorted_most_selective_first(self):
+        tracker = SelectivityTracker()
+        tracker.observe(comp.s("aa", 1), 100, 90)
+        tracker.observe(comp.s("bb", 1), 100, 10)
+        rows = list(tracker.snapshot().items())
+        assert rows[0][0] == 's1("bb")'
+        assert rows[0][1]["selectivity"] == pytest.approx(0.1)
+        assert rows[1][1]["passed"] == 90
+
+    def test_zero_evaluated_ignored(self):
+        tracker = SelectivityTracker()
+        tracker.observe(comp.s("aa", 1), 0, 0)
+        assert tracker.snapshot() == {}
+
+
+# ---------------------------------------------------------------------------
+# plans and codegen
+# ---------------------------------------------------------------------------
+
+class TestKernelPlan:
+    def test_group_children_become_prefilters(self):
+        plan = build_plan(qs1_style_filter())
+        kinds = [(step.kind, step.atom.notation()) for step in plan.steps]
+        assert plan.mode == "and"
+        # 4 record-level prefilters (2 groups x 2 children) + 2 exact
+        assert [kind for kind, _ in kinds].count("prefilter") == 4
+        assert [kind for kind, _ in kinds].count("exact") == 2
+        prefilter_notations = {n for k, n in kinds if k == "prefilter"}
+        assert 's1("temperature")' in prefilter_notations
+        assert "v(1345 <= f <= 26282)" in prefilter_notations
+
+    def test_duplicate_children_deduplicated(self):
+        shared = comp.s("light", 1)
+        expr = comp.And([
+            comp.group(shared, comp.v("1", "2")),
+            comp.group(shared, comp.v("3", "4")),
+        ])
+        plan = build_plan(expr)
+        notations = [
+            step.atom.notation()
+            for step in plan.steps if step.kind == "prefilter"
+        ]
+        assert notations.count('s1("light")') == 1
+
+    def test_nested_and_flattened(self):
+        expr = comp.And([
+            comp.s("a", 1),
+            comp.And([comp.s("b", 1), comp.s("c", 1)]),
+        ])
+        plan = build_plan(expr)
+        assert [s.atom.notation() for s in plan.steps] == [
+            's1("a")', 's1("b")', 's1("c")',
+        ]
+        assert all(step.kind == "exact" for step in plan.steps)
+
+    def test_or_plan_has_disjunct_steps_only(self):
+        expr = comp.Or([comp.s("a", 1), comp.s("b", 1)])
+        plan = build_plan(expr)
+        assert plan.mode == "or"
+        assert [step.kind for step in plan.steps] == [
+            "disjunct", "disjunct",
+        ]
+
+    def test_single_primitive_plan(self):
+        plan = build_plan(comp.v("1", "2"))
+        assert len(plan.steps) == 1
+        assert plan.steps[0].kind == "exact"
+
+
+class TestCodegen:
+    def test_source_contains_step_functions_and_driver(self):
+        plan = build_plan(qs1_style_filter())
+        source = generate_kernel_source(plan)
+        for step in plan.steps:
+            assert f"def _step_{step.index}(ctx, state):" in source
+        assert "def kernel(ctx, state, order):" in source
+        assert "_STEPS" in source
+
+    def test_kernel_source_retained_on_kernel(self):
+        clear_kernels()
+        kernel, reused = kernel_for(comp.s("temperature", 1))
+        assert not reused
+        assert "def kernel" in kernel.source
+
+    def test_registry_reuses_by_fingerprint(self):
+        clear_kernels()
+        first, reused_first = kernel_for(qs1_style_filter())
+        second, reused_second = kernel_for(qs1_style_filter())
+        assert not reused_first
+        assert reused_second
+        assert second is first
+
+    def test_cost_seed_ranks_strings_below_groups(self):
+        string_cost = cost_seed(comp.s("light", 1))
+        group_cost = cost_seed(
+            comp.group(comp.s("light", 1), comp.v("1345", "26282"))
+        )
+        assert 0 < string_cost < group_cost
+
+
+class TestOrdering:
+    def test_selective_atom_ordered_first(self):
+        backend = CompiledBackend()
+        expr = comp.And([comp.s("rare", 1), comp.s("common", 1)])
+        plan = build_plan(expr)
+        backend.tracker().observe(comp.s("rare", 1), 100, 2)
+        backend.tracker().observe(comp.s("common", 1), 100, 98)
+        order = backend.order_for(plan)
+        first = plan.steps[order[0]]
+        assert first.atom.notation() == 's1("rare")'
+
+    def test_useless_prefilters_dropped(self):
+        backend = CompiledBackend()
+        plan = build_plan(qs1_style_filter())
+        for step in plan.steps:
+            # every prefilter observed to pass ~everything
+            passed = 99 if step.kind == "prefilter" else 50
+            backend.tracker().observe(step.atom, 100, passed)
+        order = backend.order_for(plan)
+        kinds = [plan.steps[i].kind for i in order]
+        assert "prefilter" not in kinds
+        assert kinds.count("exact") == 2
+
+
+# ---------------------------------------------------------------------------
+# differential: compiled vs vectorized vs the scalar oracle
+# ---------------------------------------------------------------------------
+
+NEEDLE_POOL = ["temperature", "humidity", "taxi", '"n"', "29", "e", "al"]
+
+
+def random_primitive(rng, for_group=False):
+    if rng.random() < 0.5:
+        needle = rng.choice(NEEDLE_POOL)
+        blocks = [1, min(2, len(needle)), len(needle)]
+        if not for_group:
+            blocks.append("N")
+        return comp.s(needle, rng.choice(blocks))
+    kind = rng.choice(["int", "float"])
+    lo = rng.randint(0, 40)
+    hi = lo + rng.randint(0, 60)
+    if kind == "float":
+        return comp.v(f"{lo}.{rng.randint(0, 9)}", f"{hi}.9")
+    return comp.v_int(lo, hi)
+
+
+def random_expression(rng, depth=0):
+    roll = rng.random()
+    if depth >= 2 or roll < 0.3:
+        return random_primitive(rng)
+    if roll < 0.5:
+        children = [
+            random_primitive(rng, for_group=True)
+            for _ in range(rng.randint(1, 3))
+        ]
+        return comp.Group(children, comma_scoped=rng.random() < 0.3)
+    combinator = comp.And if roll < 0.8 else comp.Or
+    children = [
+        random_expression(rng, depth + 1)
+        for _ in range(rng.randint(2, 3))
+    ]
+    return combinator(children)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("dataset_name", ["smartcity", "taxi"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_compiled_equals_oracle_on_random_expressions(
+        self, dataset_name, seed
+    ):
+        """Randomised FilterExpr trees: compiled == vectorized ==
+        scalar, bit for bit."""
+        rng = random.Random(seed)
+        dataset = load_dataset(dataset_name, 150, seed=2000 + seed)
+        engine = FilterEngine(backend="compiled")
+        for _ in range(8):
+            expr = random_expression(rng)
+            fused = engine.match_bits(expr, dataset)
+            vec = engine.match_bits(expr, dataset, backend="vectorized")
+            oracle = engine.match_bits(expr, dataset, backend="scalar")
+            assert fused.dtype == bool and len(fused) == len(dataset)
+            assert (fused == oracle).all(), expr.notation()
+            assert (vec == oracle).all(), expr.notation()
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seam_fuzzed_streaming_matches_batch(self, seed, corpus):
+        """Random chunk boundaries must not change compiled results:
+        streamed matches == whole-corpus oracle for fuzzed chunk
+        sizes (records straddle every kind of seam)."""
+        rng = random.Random(100 + seed)
+        expr = random_expression(rng)
+        oracle = FilterEngine().match_bits(
+            expr, corpus, backend="scalar"
+        ).tolist()
+        data = corpus.stream.tobytes()
+        for _ in range(3):
+            chunk_bytes = rng.choice([17, 129, 1024, 8192])
+            engine = FilterEngine(
+                backend="compiled", chunk_bytes=chunk_bytes
+            )
+            streamed = []
+            for batch in engine.stream(expr, data):
+                streamed.extend(bool(m) for m in batch.matches)
+            assert streamed == oracle, (
+                f"chunk_bytes={chunk_bytes}: {expr.notation()}"
+            )
+
+    def test_short_circuit_path_exercised_and_identical(self, corpus):
+        """A never-matching first conjunct empties the active set: the
+        remaining steps are skipped yet the result stays exact."""
+        expr = comp.And([
+            comp.s("no-such-needle-anywhere", 1),
+            comp.group(comp.s("temperature", 1), comp.v("-99", "99")),
+        ])
+        engine = FilterEngine(backend="compiled")
+        bits = engine.match_bits(expr, corpus)
+        oracle = engine.match_bits(expr, corpus, backend="scalar")
+        assert (bits == oracle).all()
+        assert not bits.any()
+        compiled = engine.stats()["compiled"]
+        assert compiled["atoms_short_circuited"] > 0
+
+    def test_or_short_circuit_identical(self, corpus):
+        """Accepted records skip later disjuncts without changing the
+        union."""
+        expr = comp.Or([
+            comp.s("temperature", 1),
+            comp.s("humidity", 1),
+            comp.v_int(0, 10 ** 9),
+        ])
+        engine = FilterEngine(backend="compiled")
+        bits = engine.match_bits(expr, corpus)
+        oracle = engine.match_bits(expr, corpus, backend="scalar")
+        assert (bits == oracle).all()
+        assert engine.stats()["compiled"]["atoms_short_circuited"] > 0
+
+    def test_regex_predicate_specialised(self, corpus):
+        """Regex atoms run through the harness' per-record path inside
+        the kernel; results still match the oracle."""
+        expr = comp.And([
+            comp.s("temperature", 1),
+            comp.RegexPredicate(r'"u":"[A-Za-z]+"'),
+        ])
+        engine = FilterEngine(backend="compiled")
+        bits = engine.match_bits(expr, corpus)
+        oracle = engine.match_bits(expr, corpus, backend="scalar")
+        assert (bits == oracle).all()
+
+    def test_empty_batch_and_single_record(self):
+        engine = FilterEngine(backend="compiled")
+        expr = qs1_style_filter()
+        assert engine.match_bits(expr, []).shape == (0,)
+        record = (
+            b'{"e":[{"v":"30.0","n":"temperature"},'
+            b'{"v":"2000","n":"light"}]}'
+        )
+        bits = engine.match_bits(expr, [record])
+        assert bits.tolist() == [
+            engine.matches_record(expr, record)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# kernel reuse + engine integration
+# ---------------------------------------------------------------------------
+
+class TestEngineIntegration:
+    def test_kernel_compiled_once_then_reused(self, corpus):
+        clear_kernels()
+        engine = FilterEngine(backend="compiled")
+        expr = qs1_style_filter()
+        engine.match_bits(expr, corpus)
+        engine.match_bits(expr, corpus)
+        compiled = engine.stats()["compiled"]
+        assert compiled["kernels_compiled"] == 1
+        assert compiled["kernels_reused"] == 1
+
+    def test_kernels_shared_across_engines(self, corpus):
+        """Gateway SWAP shape: a second engine reuses the first's
+        compilation via the process-wide registry."""
+        clear_kernels()
+        expr = qs1_style_filter()
+        FilterEngine(backend="compiled").match_bits(expr, corpus)
+        second = FilterEngine(backend="compiled")
+        second.match_bits(expr, corpus)
+        compiled = second.stats()["compiled"]
+        assert compiled["kernels_compiled"] == 0
+        assert compiled["kernels_reused"] == 1
+
+    def test_engine_stats_expose_selectivity(self, corpus):
+        engine = FilterEngine(backend="compiled")
+        engine.match_bits(qs1_style_filter(), corpus)
+        table = engine.stats()["selectivity"]
+        assert table, "expected observed selectivity rows"
+        rates = [row["selectivity"] for row in table.values()]
+        assert all(0.0 <= rate <= 1.0 for rate in rates)
+        # sorted most selective first
+        assert rates == sorted(rates)
+
+    def test_vectorized_runs_feed_the_same_tracker(self, corpus):
+        engine = FilterEngine()  # vectorized default
+        engine.match_bits(qs1_style_filter(), corpus)
+        assert engine.stats()["selectivity"]
+
+    def test_engine_config_accepts_compiled(self):
+        config = EngineConfig(backend="compiled")
+        engine = FilterEngine(config=config)
+        assert isinstance(engine.backend(), CompiledBackend)
+        assert isinstance(
+            resolve_backend("compiled"), CompiledBackend
+        )
+
+    def test_worker_transport_differential(self, corpus):
+        """Workers recompile the kernel from the shipped expression;
+        parallel streaming stays bit-identical to the oracle."""
+        expr = qs1_style_filter()
+        oracle = FilterEngine().match_bits(
+            expr, corpus, backend="scalar"
+        ).tolist()
+        engine = FilterEngine(
+            config=EngineConfig(
+                backend="compiled",
+                chunk_bytes=8 * 1024,
+                num_workers=2,
+            ),
+            cache=True,
+        )
+        streamed = []
+        for batch in engine.stream(expr, corpus.stream.tobytes()):
+            streamed.extend(bool(m) for m in batch.matches)
+        assert streamed == oracle
+        assert engine.stats()["parallel_fallback"] is None
+
+
+# ---------------------------------------------------------------------------
+# AtomCache composition
+# ---------------------------------------------------------------------------
+
+class TestAtomCacheComposition:
+    def test_cached_masks_feed_the_fused_pass(self, corpus):
+        """Masks computed by a vectorized pass are consumed by the
+        compiled kernel as precomputed inputs (cache hits, identical
+        bits)."""
+        engine = FilterEngine(cache=True)
+        expr = qs1_style_filter()
+        vec = engine.match_bits(expr, corpus, backend="vectorized")
+        hits_before = engine.atom_cache.stats()["hits"]
+        fused = engine.match_bits(expr, corpus, backend="compiled")
+        hits_after = engine.atom_cache.stats()["hits"]
+        assert (fused == vec).all()
+        assert hits_after > hits_before
+
+    def test_compiled_masks_warm_the_shared_cache(self, corpus):
+        """Full-batch masks the kernel computes are inserted back, so a
+        later vectorized pass over the same corpus starts warm."""
+        engine = FilterEngine(backend="compiled", cache=True)
+        expr = qs1_style_filter()
+        engine.match_bits(expr, corpus)
+        inserts = engine.atom_cache.stats()["inserts"]
+        assert inserts > 0
+        misses_before = engine.atom_cache.stats()["misses"]
+        vec = engine.match_bits(expr, corpus, backend="vectorized")
+        oracle = engine.match_bits(expr, corpus, backend="scalar")
+        assert (vec == oracle).all()
+        # the top-level expression itself is evaluated fresh, but the
+        # kernel-computed full-batch atom masks must be served from
+        # the cache rather than re-missed
+        assert engine.atom_cache.stats()["hits"] > 0
+        assert engine.atom_cache.stats()["misses"] >= misses_before
+
+    def test_shared_cache_instance_across_backends(self, corpus):
+        cache = AtomCache()
+        engine = FilterEngine(backend="compiled", cache=cache)
+        assert engine.backend().atom_cache is cache
+        assert engine.backend("vectorized").atom_cache is cache
+
+
+# ---------------------------------------------------------------------------
+# fallback behaviour
+# ---------------------------------------------------------------------------
+
+class _MatchesOnly:
+    """A predicate with no raw-filter form (scalar protocol only)."""
+
+    def __init__(self, needle):
+        self.needle = needle
+
+    def matches(self, record):
+        return self.needle in record
+
+
+class TestFallback:
+    def test_fallback_warns_once_and_stays_correct(self, corpus):
+        engine = FilterEngine(backend="compiled")
+        predicate = _MatchesOnly(b"temperature")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = engine.match_bits(predicate, corpus)
+            second = engine.match_bits(predicate, corpus)
+        ours = [
+            w for w in caught
+            if issubclass(w.category, RuntimeWarning)
+            and "compiled backend" in str(w.message)
+        ]
+        assert len(ours) == 1, "fallback must warn exactly once"
+        oracle = engine.match_bits(predicate, corpus, backend="scalar")
+        assert (first == oracle).all()
+        assert (second == oracle).all()
+
+    def test_fallback_reason_reported_in_stats(self, corpus):
+        engine = FilterEngine(backend="compiled")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            engine.match_bits(_MatchesOnly(b"taxi"), corpus)
+        stats = engine.stats()
+        assert stats["compiled_fallback"] is not None
+        assert "as_raw_filter" in stats["compiled_fallback"]
+        assert stats["compiled"]["fallbacks"] == 1
+
+    def test_no_fallback_on_expressions(self, corpus):
+        engine = FilterEngine(backend="compiled")
+        engine.match_bits(qs1_style_filter(), corpus)
+        assert engine.stats()["compiled_fallback"] is None
+
+
+# ---------------------------------------------------------------------------
+# satellite: cache-less DatasetView memoisation
+# ---------------------------------------------------------------------------
+
+class TestVectorizedViewMemo:
+    def test_same_batch_object_reuses_view(self, corpus, monkeypatch):
+        import repro.engine.backends as backends_module
+
+        built = []
+        real_view = backends_module.DatasetView
+
+        def counting_view(dataset):
+            built.append(dataset)
+            return real_view(dataset)
+
+        monkeypatch.setattr(
+            backends_module, "DatasetView", counting_view
+        )
+        backend = VectorizedBackend()
+        expr = comp.s("temperature", 1)
+        first = backend.match_bits(expr, corpus)
+        second = backend.match_bits(comp.s("humidity", 1), corpus)
+        assert len(built) == 1, (
+            "cache-less repeated queries over one batch must share "
+            "one DatasetView"
+        )
+        assert len(first) == len(second) == len(corpus)
+
+    def test_new_batch_object_rebuilds_view(self, corpus):
+        backend = VectorizedBackend()
+        records_a = list(corpus)[:10]
+        records_b = list(corpus)[10:20]
+        backend.match_bits(comp.s("e", 1), records_a)
+        memo_a = backend._view_memo
+        backend.match_bits(comp.s("e", 1), records_b)
+        memo_b = backend._view_memo
+        assert memo_a[0] is records_a
+        assert memo_b[0] is records_b
+        assert memo_a[1] is not memo_b[1]
+
+    def test_memoised_results_stay_correct(self, corpus):
+        backend = VectorizedBackend()
+        oracle_backend = resolve_backend("scalar")
+        for expr in (
+            comp.s("temperature", 1),
+            comp.group(comp.s("temperature", 1), comp.v("0", "99")),
+        ):
+            fast = backend.match_bits(expr, corpus)
+            slow = oracle_backend.match_bits(expr, corpus)
+            assert (fast == slow).all(), expr.notation()
