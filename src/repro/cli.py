@@ -298,6 +298,7 @@ def cmd_filter(args):
             total = batch.records_seen
     finally:
         source.close()
+        engine.close()
     print(
         f"accepted {accepted}/{total} records "
         f"({expr.notation()})",
@@ -417,56 +418,61 @@ def cmd_bench(args):
     merge_lines = []
     passes = []
     previous_hit_rate = {}
-    for backend in backends:
-        for repeat in range(args.repeat):
-            cache_before = engine.stats()["cache"]
-            with _bench_source(
-                args.source, ndjson, args.chunk_bytes
-            ) as source:
-                start = time.perf_counter()
-                accepted = records = 0
-                for batch in engine.stream(
-                    expr, source, backend=backend.strip()
-                ):
-                    accepted = batch.accepted_seen
-                    records = batch.records_seen
-                elapsed = time.perf_counter() - start
-            rate = payload / elapsed if elapsed > 0 else float("inf")
-            label = backend.strip()
-            if args.repeat > 1:
-                label += f" (pass {repeat + 1})"
-            rows.append([
-                label,
-                f"{records}",
-                f"{accepted}",
-                f"{elapsed:.3f}",
-                f"{rate / 1e6:.1f}",
-            ])
-            merge_lines += _merge_back_line(
-                engine, backend.strip(), repeat, previous_hit_rate
-            )
-            stats = engine.stats()
-            passes.append({
-                "backend": backend.strip(),
-                "pass": repeat + 1,
-                "records": records,
-                "accepted": accepted,
-                "seconds": elapsed,
-                "bytes": payload,
-                "bytes_per_second": rate,
-                "records_per_second": (
-                    records / elapsed if elapsed > 0 else None
-                ),
-                "cache_delta": _cache_delta(
-                    cache_before, stats["cache"]
-                ),
-                "workers": stats["workers"],
-                # cumulative fused-kernel counters as of this pass
-                "compiled": (
-                    dict(stats["compiled"])
-                    if stats["compiled"] is not None else None
-                ),
-            })
+    try:
+        for backend in backends:
+            for repeat in range(args.repeat):
+                cache_before = engine.stats()["cache"]
+                with _bench_source(
+                    args.source, ndjson, args.chunk_bytes
+                ) as source:
+                    start = time.perf_counter()
+                    accepted = records = 0
+                    for batch in engine.stream(
+                        expr, source, backend=backend.strip()
+                    ):
+                        accepted = batch.accepted_seen
+                        records = batch.records_seen
+                    elapsed = time.perf_counter() - start
+                rate = payload / elapsed if elapsed > 0 else float("inf")
+                label = backend.strip()
+                if args.repeat > 1:
+                    label += f" (pass {repeat + 1})"
+                rows.append([
+                    label,
+                    f"{records}",
+                    f"{accepted}",
+                    f"{elapsed:.3f}",
+                    f"{rate / 1e6:.1f}",
+                ])
+                merge_lines += _merge_back_line(
+                    engine, backend.strip(), repeat, previous_hit_rate
+                )
+                stats = engine.stats()
+                passes.append({
+                    "backend": backend.strip(),
+                    "pass": repeat + 1,
+                    "records": records,
+                    "accepted": accepted,
+                    "seconds": elapsed,
+                    "bytes": payload,
+                    "bytes_per_second": rate,
+                    "records_per_second": (
+                        records / elapsed if elapsed > 0 else None
+                    ),
+                    "cache_delta": _cache_delta(
+                        cache_before, stats["cache"]
+                    ),
+                    "workers": stats["workers"],
+                    # cumulative fused-kernel counters as of this pass
+                    "compiled": (
+                        dict(stats["compiled"])
+                        if stats["compiled"] is not None else None
+                    ),
+                })
+    finally:
+        # resident pools survive across passes (that is the point of
+        # the benchmark's warm rows) and come down with the engine
+        engine.close()
     print(render_table(
         ["Backend", "Records", "Accepted", "Seconds", "MB/s"],
         rows,
@@ -568,6 +574,7 @@ def cmd_serve(args):
         engines=args.engines,
         cache=cache,
         backend=args.backend,
+        workers=args.workers,
         max_sessions=args.max_sessions,
         max_inflight_bytes=args.max_inflight_bytes,
         queue_chunks=args.queue_chunks,
@@ -576,10 +583,14 @@ def cmd_serve(args):
 
     async def run():
         await gateway.start()
+        workers_note = (
+            f", {args.workers} resident workers/engine"
+            if args.workers > 1 else ""
+        )
         print(
             f"filter gateway listening on {gateway.host}:"
-            f"{gateway.port} ({args.engines} engines, "
-            f"max {args.max_sessions} sessions)",
+            f"{gateway.port} ({args.engines} engines"
+            f"{workers_note}, max {args.max_sessions} sessions)",
             file=sys.stderr,
         )
         try:
@@ -748,6 +759,12 @@ def build_arg_parser():
     serve.add_argument(
         "--backend", default="compiled",
         choices=["compiled", "vectorized", "scalar"],
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="resident worker processes per engine (spawned once at "
+             "startup and kept warm across streams and filter swaps; "
+             "1 = in-process evaluation)",
     )
     serve.add_argument(
         "--max-sessions", type=int, default=32,

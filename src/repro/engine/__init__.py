@@ -31,7 +31,12 @@ layers that model the paper's ingest/evaluation boundary explicitly:
   :class:`SharedMemoryTransport` ships payloads through shared-memory
   slot rings with pickle-free record views), with workers started from
   a warm :class:`AtomCache` snapshot and per-worker counters reported
-  via ``engine.stats()``.
+  via ``engine.stats()``.  The default for ``num_workers > 1`` is the
+  :class:`~repro.engine.transport.ResidentWorkerPool`: workers spawn
+  once per engine and stay warm across streams, passes and filter
+  swaps, receiving incremental cache deltas instead of per-run
+  re-snapshots, with respawn-on-death fault tolerance and lifecycle
+  hooks (``engine.warm_up()`` / ``drain()`` / ``close()``).
 
 ``FilterEngine(cache=True)`` attaches a shared
 :class:`~repro.engine.atom_cache.AtomCache`: per-atom match masks and
@@ -81,6 +86,7 @@ from .sources import (
 from .transport import (
     TRANSPORTS,
     ForkPickleTransport,
+    ResidentWorkerPool,
     SharedMemoryTransport,
     WorkerTransport,
     resolve_mp_context,
@@ -122,6 +128,7 @@ __all__ = [
     "ingest_records",
     "TRANSPORTS",
     "ForkPickleTransport",
+    "ResidentWorkerPool",
     "SharedMemoryTransport",
     "WorkerTransport",
     "resolve_mp_context",

@@ -258,7 +258,7 @@ class AtomCache:
         deltas, self.delta_log = self.delta_log, []
         return deltas
 
-    def merge_snapshot(self, entries):
+    def merge_snapshot(self, entries, record_deltas=True):
         """Merge snapshot entries computed elsewhere into this cache.
 
         The worker merge-back half of parallel streaming: entries are
@@ -270,16 +270,28 @@ class AtomCache:
         construction).  New entries go through :meth:`put`, so the
         LRU entry/byte bounds hold exactly as for local inserts.
 
+        ``record_deltas=False`` keeps the merged entries out of the
+        :meth:`track_deltas` log: a resident worker merging the
+        *parent's* incremental cache sync must not echo those same
+        entries back to the parent on its next result.
+
         Returns ``(merged, skipped)`` entry counts.
         """
         merged = skipped = 0
         with self._lock:
-            for fingerprint, key, array in entries:
-                if (fingerprint, key) in self._entries:
-                    skipped += 1
-                    continue
-                self.put(fingerprint, key, array)
-                merged += 1
+            saved_log = self.delta_log
+            if not record_deltas:
+                self.delta_log = None
+            try:
+                for fingerprint, key, array in entries:
+                    if (fingerprint, key) in self._entries:
+                        skipped += 1
+                        continue
+                    self.put(fingerprint, key, array)
+                    merged += 1
+            finally:
+                if not record_deltas:
+                    self.delta_log = saved_log
         return merged, skipped
 
     def save(self, path, max_bytes=None):

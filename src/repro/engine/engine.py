@@ -39,10 +39,17 @@ from .backends import (
 from .compiled import CompiledBackend, SelectivityTracker
 from .framing import RecordFramer
 from .sources import ChunkSource, FileSource, as_chunk_source, ingest_dataset
-from .transport import resolve_mp_context, resolve_transport
+from .transport import (
+    ResidentWorkerPool,
+    resolve_mp_context,
+    resolve_transport,
+)
 
 DEFAULT_CHUNK_BYTES = 1 << 20
-DEFAULT_TRANSPORT = "fork-pickle"
+#: parallel engines default to the resident pool: workers spawn once
+#: per engine and stay warm across streams/passes/filter swaps instead
+#: of paying process spawn + a cold cache re-snapshot per run
+DEFAULT_TRANSPORT = "resident"
 
 
 class EngineConfig:
@@ -175,6 +182,8 @@ class FilterEngine:
         #: why the most recent num_workers > 1 stream ran serially
         self._parallel_fallback = None
         self._fallback_warned = False
+        #: lazily created persistent worker pool (resident transport)
+        self._resident_pool = None
 
     # -- backend handling ---------------------------------------------------
 
@@ -207,10 +216,63 @@ class FilterEngine:
     # -- whole-corpus evaluation --------------------------------------------
 
     def match_bits(self, predicate, records, backend=None):
-        """Per-record accept bits for an in-memory record batch."""
+        """Per-record accept bits for an in-memory record batch.
+
+        With ``num_workers > 1`` on the resident transport, the batch
+        is sharded contiguously across the pool's warm workers and the
+        per-shard bits concatenated — this is how a pooled gateway
+        engine drives multi-process evaluation from one call.  The
+        serial backend path handles everything the pool cannot take
+        (backend instances, unpicklable predicates, trivial batches,
+        a pool mid-stream or broken) with identical results.
+        """
         if isinstance(records, ChunkSource):
             records = self.ingest(records)
+        chosen = backend if backend is not None else self.config.backend
+        if (self.config.num_workers > 1
+                and isinstance(chosen, str)
+                and self._resident_transport()):
+            bits = self._match_bits_pooled(predicate, records, chosen)
+            if bits is not None:
+                return bits
         return self.backend(backend).match_bits(predicate, records)
+
+    def _match_bits_pooled(self, predicate, records, backend_name):
+        """Shard one batch across the resident pool (or ``None``)."""
+        record_list = getattr(records, "records", None)
+        if record_list is None:
+            record_list = list(records)
+        if len(record_list) < 2:
+            return None
+        payload = self._picklable_payload(predicate)
+        if payload is None:
+            return None
+        pool = self._ensure_resident_pool()
+        if pool.active or pool.broken or pool.closed:
+            return None
+        try:
+            session = pool.session(payload, backend_name)
+        except ReproError:
+            return None
+        parts = []
+        total = len(record_list)
+        shards = min(pool.num_workers, total)
+        try:
+            submitted = 0
+            for index in range(shards):
+                lo = total * index // shards
+                hi = total * (index + 1) // shards
+                if lo == hi:
+                    continue
+                session.submit(record_list[lo:hi])
+                submitted += 1
+            for _ in range(submitted):
+                bits, _count = session.drain()
+                parts.append(bits)
+        finally:
+            session.close()
+            self._worker_stats = pool.stats()
+        return np.concatenate(parts)
 
     def matches_record(self, predicate, record):
         """Single-record accept (always the scalar reference path)."""
@@ -403,6 +465,68 @@ class FilterEngine:
                 stacklevel=3,
             )
 
+    def _resident_transport(self):
+        """True when the configured transport is the resident pool."""
+        return bool(getattr(
+            resolve_transport(self.config.transport), "resident", False
+        ))
+
+    def _ensure_resident_pool(self):
+        """The engine's persistent worker pool, created on first use.
+
+        The pool outlives individual streams — that persistence (warm
+        worker AtomCaches, compiled-kernel registries, no per-run
+        spawn) is the entire point of the resident transport.  It is
+        torn down by :meth:`close` (or GC/exit finalizers).
+        """
+        if self._resident_pool is None:
+            self._resident_pool = ResidentWorkerPool(
+                num_workers=self.config.num_workers,
+                mp_context=self.config.mp_context,
+                chunk_bytes=self.config.chunk_bytes,
+                atom_cache=self.atom_cache,
+            )
+        return self._resident_pool
+
+    def warm_up(self):
+        """Pre-spawn resident workers and ship the current cache.
+
+        Useful before latency-sensitive serving: the first parallel
+        stream then finds workers already alive and warm.  Serial
+        engines (or non-resident transports) no-op.
+        """
+        if self.config.num_workers > 1 and self._resident_transport():
+            self._ensure_resident_pool().warm_up()
+        return self
+
+    def drain(self):
+        """Barrier with the resident workers; refresh worker stats."""
+        pool = self._resident_pool
+        if pool is not None and not pool.closed and not pool.broken:
+            pool.sync()
+            self._worker_stats = pool.stats()
+        return self
+
+    def close(self):
+        """Release parallel resources (idempotent; serial no-op).
+
+        The final worker counters stay readable through
+        ``stats()["workers"]`` after closing.
+        """
+        pool = self._resident_pool
+        if pool is not None:
+            self._worker_stats = pool.stats()
+            pool.close()
+            self._resident_pool = None
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
     def _create_transport(self, backend_name, payload):
         transport_cls = resolve_transport(self.config.transport)
         cache_snapshot = None
@@ -433,7 +557,15 @@ class FilterEngine:
             )
             yield from self._stream_serial(predicate, source, backend)
             return
-        transport = self._create_transport(backend_name, payload)
+        if self._resident_transport():
+            # session over the engine's persistent pool: same
+            # submit/drain protocol, but close() only ends the stream
+            # — the warm workers survive for the next one
+            transport = self._ensure_resident_pool().session(
+                payload, backend_name
+            )
+        else:
+            transport = self._create_transport(backend_name, payload)
         try:
             pending = []  # consumed-bytes/records ride next to the
             index = 0     # transport's in-order result queue

@@ -38,6 +38,16 @@ class QueryError(ReproError):
     """A filter-expression query is malformed."""
 
 
+class WorkerCrashError(ReproError):
+    """A resident worker died and the pool's respawn budget ran out.
+
+    Raised by :class:`repro.engine.transport.ResidentWorkerPool` once
+    worker deaths exceed ``max_respawns``; every batch drained before
+    the crash has already been returned (and its AtomCache delta
+    merged), so partial results survive the failure.
+    """
+
+
 class SynthesisError(ReproError):
     """A circuit could not be built or technology-mapped."""
 

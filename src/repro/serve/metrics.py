@@ -240,6 +240,18 @@ def render_status(snapshot):
             f"(hit rate {cache['hit_rate']:.1%}), "
             f"{cache['entries']} entries, {cache['bytes']} bytes"
         )
+    workers = engine.get("workers")
+    if workers and workers.get("resident"):
+        lines.append(
+            "resident workers: "
+            f"{workers['num_workers']} per engine, "
+            f"{workers['sessions']} sessions / "
+            f"{workers['configures']} configures / "
+            f"{workers['respawns']} respawns, "
+            f"{workers['shipped_entries']} cache entries shipped, "
+            f"{workers['cache_hits']} worker hits / "
+            f"{workers['cache_misses']} misses"
+        )
     tenants = snapshot["tenants"]
     if tenants:
         rows = [

@@ -67,11 +67,21 @@ class EnginePool:
     masks the first tenant's session computed).  Sessions check an
     engine out per batch, so ``N`` sessions make progress over
     ``size`` engines without tying a session to an engine.
+
+    ``workers > 1`` makes every engine a *pooled* engine: each keeps a
+    persistent :class:`~repro.engine.transport.ResidentWorkerPool`
+    whose worker processes are spawned once here (``warm_up()``,
+    before the gateway's executor threads exist) and evaluate each
+    batch sharded across warm workers — one listen socket driving
+    multi-process evaluation.
     """
 
-    def __init__(self, size=2, cache=True, backend="compiled"):
+    def __init__(self, size=2, cache=True, backend="compiled",
+                 workers=1):
         if size <= 0:
             raise GatewayError("engine pool size must be positive")
+        if workers <= 0:
+            raise GatewayError("engine workers must be positive")
         if cache is True:
             # a service sees many (batch x atom) entries per stream;
             # the default 1024-entry LRU would evict a long stream's
@@ -81,10 +91,18 @@ class EnginePool:
 
             cache = AtomCache(max_entries=None)
         self.cache = as_atom_cache(cache)
+        self.workers = workers
         self.engines = [
-            FilterEngine(backend=backend, cache=self.cache)
+            FilterEngine(backend=backend, cache=self.cache,
+                         num_workers=workers)
             for _ in range(size)
         ]
+        if workers > 1:
+            # pre-fork the resident workers from the constructing
+            # thread, before the gateway starts executor threads —
+            # forking later from a threaded process is fragile
+            for engine in self.engines:
+                engine.warm_up()
         self._free = None  # asyncio.Queue, created on the serving loop
 
     def bind(self):
@@ -98,9 +116,15 @@ class EnginePool:
     def release(self, engine):
         self._free.put_nowait(engine)
 
+    def close(self):
+        """Tear down the engines' resident worker pools (idempotent)."""
+        for engine in self.engines:
+            engine.close()
+
     def stats(self):
         stats = self.engines[0].stats()
         stats["engines"] = len(self.engines)
+        stats["engine_workers"] = self.workers
         return stats
 
 
@@ -377,9 +401,9 @@ class FilterGateway:
     """A multi-tenant streaming filter service on one listen socket."""
 
     def __init__(self, host="127.0.0.1", port=0, *, engines=2,
-                 cache=True, backend="compiled", max_sessions=32,
-                 max_inflight_bytes=64 << 20, queue_chunks=8,
-                 drain_timeout=5.0):
+                 cache=True, backend="compiled", workers=1,
+                 max_sessions=32, max_inflight_bytes=64 << 20,
+                 queue_chunks=8, drain_timeout=5.0):
         if max_sessions <= 0:
             raise GatewayError("max_sessions must be positive")
         if max_inflight_bytes <= 0:
@@ -388,7 +412,8 @@ class FilterGateway:
             raise GatewayError("queue_chunks must be positive")
         self.host = host
         self.port = port
-        self.pool = EnginePool(engines, cache=cache, backend=backend)
+        self.pool = EnginePool(engines, cache=cache, backend=backend,
+                               workers=workers)
         self.max_sessions = max_sessions
         self.max_inflight_bytes = max_inflight_bytes
         self.queue_chunks = queue_chunks
@@ -440,6 +465,9 @@ class FilterGateway:
                 task.cancel()
             await asyncio.gather(*pending, return_exceptions=True)
         self._executor.shutdown(wait=True, cancel_futures=True)
+        # resident worker pools go down after the executor: no thread
+        # can be mid-evaluation on a pooled engine past this point
+        self.pool.close()
         self._shutdown_event.set()
 
     # -- admission + inflight policy ----------------------------------------

@@ -297,12 +297,12 @@ class TestIngestAndTransportOptions:
         parser = build_arg_parser()
         args = parser.parse_args(["filter", "s:1:a"])
         assert args.source == "file"
-        assert args.transport == "fork-pickle"
+        assert args.transport == "resident"
         assert args.mp_context is None
         assert args.cache is False and args.cache_file is None
         bench = parser.parse_args(["bench", "s:1:a"])
         assert bench.source == "memory"
-        assert bench.transport == "fork-pickle"
+        assert bench.transport == "resident"
         assert bench.json is None
 
 

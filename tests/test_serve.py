@@ -751,3 +751,127 @@ class TestGatewaySmoke:
                     break
                 time.sleep(0.01)
             assert active == 0
+
+
+# ---------------------------------------------------------------------------
+# pooled engines: resident workers behind the gateway
+# ---------------------------------------------------------------------------
+
+class TestResidentGateway:
+    """``repro serve --workers N``: every engine keeps a resident
+    worker pool, pre-forked before the executor threads exist, and the
+    pool's residency counters surface through STATS."""
+
+    @staticmethod
+    def _resident_stragglers(timeout=5.0):
+        import multiprocessing
+
+        deadline = time.time() + timeout
+        while True:
+            stragglers = [
+                child for child in multiprocessing.active_children()
+                if child.name.startswith("repro-resident")
+            ]
+            if not stragglers or time.time() > deadline:
+                return stragglers
+            time.sleep(0.05)
+
+    def test_pooled_engine_matches_offline_and_reports_workers(
+        self, payload
+    ):
+        expected = offline_bits(EXPR, payload)
+        with GatewayThread(engines=1, workers=2) as gw:
+            with GatewayClient(
+                "127.0.0.1", gw.port, tenant="pooled"
+            ) as client:
+                bits, _ = collect(client, EXPR, payload, 4096)
+            assert bits == expected
+            snapshot = gw.snapshot()
+            engine = snapshot["engine"]
+            workers = engine["workers"]
+            assert engine["engine_workers"] == 2
+            assert workers["resident"] is True
+            assert workers["num_workers"] == 2
+            assert workers["sessions"] >= 1
+            assert workers["respawns"] == 0
+            # per-worker counters rode the STATS wire (pid-keyed,
+            # JSON-stringified by the snapshot)
+            per_worker = workers["workers"]
+            assert per_worker
+            assert all(
+                counters["records"] >= 0
+                for counters in per_worker.values()
+            )
+            assert sum(
+                counters["records"] for counters in per_worker.values()
+            ) > 0
+            text = render_status(snapshot)
+            assert "resident workers: 2 per engine" in text
+        # gateway shutdown closes the pooled engines: nothing left
+        assert self._resident_stragglers() == []
+
+    def test_swap_mid_stream_reconfigures_pooled_engine(self):
+        part1 = (
+            b'{"n":"temperature","v":"30.0"}\n'
+            b'{"n":"humidity","v":"50.0"}\n'
+        )
+        part2 = part1
+
+        async def run(port):
+            client = AsyncGatewayClient(
+                "127.0.0.1", port, tenant="pooled-swap"
+            )
+            async with client:
+                await client.query(EXPR)
+                await client.send_chunk(part1)
+                await client.swap(HUMIDITY_EXPR)
+                await client.send_chunk(part2)
+                await client.end()
+                return [batch async for batch in client.results()]
+
+        with GatewayThread(engines=1, workers=2) as gw:
+            batches = asyncio.run(run(gw.port))
+            assert len(batches) == 2
+            assert batches[0].matches.tolist() == [True, False]
+            assert batches[1].matches.tolist() == [False, True]
+            snapshot = gw.snapshot()
+            assert snapshot["tenants"]["pooled-swap"]["swaps"] == 1
+            workers = snapshot["engine"]["workers"]
+            # the swap reconfigured the resident workers in place —
+            # a second filter means a second configure, not a respawn
+            assert workers["configures"] >= 2
+            assert workers["respawns"] == 0
+        assert self._resident_stragglers() == []
+
+    def test_concurrent_tenants_on_pooled_engines(self, payload):
+        """Two sessions race over pooled engines; per-batch engine
+        checkout plus the pool's serial-fallback guard keep every
+        result bit-identical to the offline run."""
+        expected = offline_bits(EXPR, payload)
+        results, errors = {}, []
+
+        def run_client(name, port):
+            try:
+                with GatewayClient(
+                    "127.0.0.1", port, tenant=name
+                ) as client:
+                    results[name] = collect(
+                        client, EXPR, payload, 4096
+                    )[0]
+            except Exception as err:  # pragma: no cover - diagnostics
+                errors.append((name, err))
+
+        with GatewayThread(engines=2, workers=2) as gw:
+            threads = [
+                threading.Thread(target=run_client, args=(name, gw.port))
+                for name in ("race-a", "race-b")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors, errors
+            assert results == {
+                "race-a": expected, "race-b": expected,
+            }
+        assert self._resident_stragglers() == []
