@@ -56,6 +56,8 @@ from .engine import (
     AtomCache,
     FileSource,
     FilterEngine,
+    MmapSource,
+    ReadaheadSource,
     SocketSource,
 )
 from .errors import QueryError, ReproError
@@ -218,11 +220,18 @@ def cmd_synth(args):
 
 def _load_cache(args):
     """The engine cache implied by --cache-file (warm when it exists)."""
+    max_bytes = getattr(args, "cache_max_bytes", None)
+    bound = {} if max_bytes is None else {"max_bytes": max_bytes}
     path = getattr(args, "cache_file", None)
     if path:
         if os.path.exists(path):
-            return AtomCache.from_file(path)
-        return AtomCache()
+            return AtomCache.from_file(path, **bound)
+        return AtomCache(**bound)
+    if max_bytes is not None or getattr(args, "cache_store", None):
+        # a byte cap or a disk tier needs an in-memory cache to act
+        # on; the engine attaches the store itself
+        # (EngineConfig.cache_store)
+        return AtomCache(**bound)
     return getattr(args, "cache", False) or None
 
 
@@ -241,7 +250,25 @@ def _engine_from_args(args):
         transport=args.transport,
         mp_context=args.mp_context,
         cache=_load_cache(args),
+        cache_store=getattr(args, "cache_store", None),
     )
+
+
+def _peak_rss_bytes():
+    """This process's peak resident set size, in bytes (or ``None``).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalised
+    here so every BENCH_*.json carries comparable numbers and memory
+    regressions are machine-visible.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return int(peak)
+    return int(peak) * 1024
 
 
 def _parse_endpoint(text):
@@ -256,8 +283,15 @@ def _parse_endpoint(text):
 def _open_filter_source(args, chunk_bytes):
     if args.source == "socket":
         return SocketSource(_parse_endpoint(args.input), chunk_bytes)
+    if args.source == "mmap":
+        if args.input == "-":
+            raise ReproError("--source mmap needs a file path, not '-'")
+        return MmapSource(args.input, chunk_bytes)
     handle = sys.stdin.buffer if args.input == "-" else args.input
-    return FileSource(handle, chunk_bytes)
+    source = FileSource(handle, chunk_bytes)
+    if args.source == "readahead":
+        source = ReadaheadSource(source, chunk_bytes=chunk_bytes)
+    return source
 
 
 def _print_worker_stats(engine):
@@ -314,17 +348,26 @@ def _bench_source(kind, ndjson, chunk_bytes):
     """One streaming pass over the corpus through the chosen ingest.
 
     ``memory`` streams in-process chunks, ``file`` reads a real
-    temporary NDJSON file, ``socket`` receives the corpus from a
-    feeder thread over a local socket pair — so the benchmark measures
-    the source layer actually in use, not only evaluation.
+    temporary NDJSON file, ``mmap`` maps one (zero-copy windows),
+    ``readahead`` wraps the file read in a bounded prefetch thread
+    (ingest overlapped with evaluation), ``socket`` receives the
+    corpus from a feeder thread over a local socket pair — so the
+    benchmark measures the source layer actually in use, not only
+    evaluation.
     """
     if kind == "memory":
         yield FileSource(io.BytesIO(ndjson), chunk_bytes)
-    elif kind == "file":
+    elif kind in ("file", "mmap", "readahead"):
         with tempfile.NamedTemporaryFile(suffix=".ndjson") as handle:
             handle.write(ndjson)
             handle.flush()
-            source = FileSource(handle.name, chunk_bytes)
+            if kind == "mmap":
+                source = MmapSource(handle.name, chunk_bytes)
+            else:
+                source = FileSource(handle.name, chunk_bytes)
+                if kind == "readahead":
+                    source = ReadaheadSource(source,
+                                             chunk_bytes=chunk_bytes)
             try:
                 yield source
             finally:
@@ -433,6 +476,7 @@ def cmd_bench(args):
                         accepted = batch.accepted_seen
                         records = batch.records_seen
                     elapsed = time.perf_counter() - start
+                    ingested = source.stats()["bytes_read"]
                 rate = payload / elapsed if elapsed > 0 else float("inf")
                 label = backend.strip()
                 if args.repeat > 1:
@@ -459,6 +503,17 @@ def cmd_bench(args):
                     "records_per_second": (
                         records / elapsed if elapsed > 0 else None
                     ),
+                    # bytes actually delivered by the source layer this
+                    # pass (== payload for complete streams) and the
+                    # ingest rate they imply
+                    "ingest_bytes": ingested,
+                    "ingest_bytes_per_second": (
+                        ingested / elapsed if elapsed > 0 else None
+                    ),
+                    # peak RSS as of the end of this pass: memory
+                    # regressions show up in every BENCH_*.json, not
+                    # only the tiered-ingest benchmark
+                    "peak_rss_bytes": _peak_rss_bytes(),
                     "cache_delta": _cache_delta(
                         cache_before, stats["cache"]
                     ),
@@ -501,6 +556,18 @@ def cmd_bench(args):
             f"{cache_stats['evictions']} evictions",
             file=sys.stderr,
         )
+        if cache_stats["store"] is not None:
+            store = cache_stats["store"]
+            print(
+                "cache store: "
+                f"{cache_stats['demoted']} demoted / "
+                f"{cache_stats['promoted']} promoted "
+                f"({cache_stats['tier_hits']} tier hits, "
+                f"{cache_stats['tier_misses']} tier misses), "
+                f"{store['entries']} entries / {store['bytes']} bytes "
+                f"at {store['path']}",
+                file=sys.stderr,
+            )
     final_stats = engine.stats()
     _print_selectivity(final_stats["selectivity"])
     compiled_stats = final_stats["compiled"]
@@ -525,8 +592,10 @@ def cmd_bench(args):
                 "transport": engine.config.transport_name(),
                 "source": args.source,
                 "cache": engine.atom_cache is not None,
+                "cache_store": getattr(args, "cache_store", None),
                 "repeat": args.repeat,
             },
+            "peak_rss_bytes": _peak_rss_bytes(),
             "passes": passes,
             "cache": cache_stats,
             "selectivity": final_stats["selectivity"],
@@ -567,6 +636,10 @@ def cmd_serve(args):
     if args.cache_file and os.path.exists(args.cache_file):
         # byte-bounded only, matching EnginePool's service default
         cache = AtomCache.from_file(args.cache_file, max_entries=None)
+    elif args.cache_max_bytes is not None:
+        cache = AtomCache(
+            max_entries=None, max_bytes=args.cache_max_bytes
+        )
     else:
         cache = True  # EnginePool builds its byte-bounded default
     gateway = FilterGateway(
@@ -575,6 +648,7 @@ def cmd_serve(args):
         cache=cache,
         backend=args.backend,
         workers=args.workers,
+        cache_store=args.cache_store,
         max_sessions=args.max_sessions,
         max_inflight_bytes=args.max_inflight_bytes,
         queue_chunks=args.queue_chunks,
@@ -693,9 +767,12 @@ def build_arg_parser():
              "with --source socket",
     )
     filter_cmd.add_argument(
-        "--source", default="file", choices=["file", "socket"],
-        help="ingest layer: read --input as a file/stdin, or connect "
-             "to it as a host:port socket endpoint",
+        "--source", default="file",
+        choices=["file", "mmap", "readahead", "socket"],
+        help="ingest layer: read --input as a file/stdin, map it "
+             "(zero-copy mmap windows), wrap the file read in a "
+             "bounded prefetch thread, or connect to it as a "
+             "host:port socket endpoint",
     )
     filter_cmd.add_argument(
         "--cache", action=argparse.BooleanOptionalAction,
@@ -732,9 +809,11 @@ def build_arg_parser():
     )
     bench.add_argument(
         "--source", default="memory",
-        choices=["memory", "file", "socket"],
+        choices=["memory", "file", "mmap", "readahead", "socket"],
         help="ingest layer to benchmark: in-memory chunks, a real "
-             "temporary file, or a local socket fed by a thread",
+             "temporary file (plain reads, zero-copy mmap windows, or "
+             "readahead-prefetched reads), or a local socket fed by "
+             "a thread",
     )
     bench.add_argument(
         "--json", default=None, metavar="PATH",
@@ -828,6 +907,23 @@ def _add_cache_file_argument(parser):
              "invocations over the same corpus start warm (implies "
              "--cache; the spill is a pickle — use trusted, "
              "user-owned paths only)",
+    )
+    parser.add_argument(
+        "--cache-store", default=None, metavar="DIR",
+        help="persistent disk tier under the AtomCache (implies "
+             "--cache): LRU-evicted entries demote to an append-"
+             "mostly log in DIR instead of vanishing, misses promote "
+             "them back in fingerprint batches — corpora far larger "
+             "than the cache cap stream warm, and restarts serve "
+             "warm without loading the whole cache into RAM "
+             "(pickle-based; use trusted, user-owned directories "
+             "only)",
+    )
+    parser.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="N",
+        help="byte cap for the in-memory AtomCache (implies --cache); "
+             "combine with --cache-store to exercise demote/promote "
+             "churn deliberately",
     )
 
 

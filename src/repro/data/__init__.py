@@ -6,7 +6,7 @@ reproduce the schema and distributional properties the paper's results
 depend on.
 """
 
-from .corpus import Dataset, inflate
+from .corpus import Dataset, inflate, write_ndjson_corpus
 from .riotbench import (
     ALL_QUERIES,
     QS0,
@@ -26,6 +26,7 @@ from .twitter import generate_twitter
 __all__ = [
     "Dataset",
     "inflate",
+    "write_ndjson_corpus",
     "ALL_QUERIES",
     "QS0",
     "QS1",

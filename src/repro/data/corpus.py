@@ -4,7 +4,10 @@ A :class:`Dataset` is an ordered collection of newline-delimited JSON
 records, held both as raw bytes (what the FPGA sees) and parsed values
 (what the oracle sees).  :func:`inflate` grows a dataset to a byte budget
 for the throughput experiment (§IV-B preloads "44 MB of inflated JSON
-data" into RAM).
+data" into RAM).  :func:`write_ndjson_corpus` is the on-disk
+counterpart for the larger-than-memory experiments: it streams a
+RiotBench-style synthetic corpus to a file in bounded memory, so the
+corpus size is limited by disk, not RAM.
 """
 
 from __future__ import annotations
@@ -127,3 +130,50 @@ def inflate(dataset, target_bytes):
         total += len(record) + 1
         index += 1
     return Dataset(f"{dataset.name}-inflated", records, parsed)
+
+
+def write_ndjson_corpus(path, dataset="smartcity", target_bytes=0,
+                        seed=0, batch_records=2000):
+    """Stream a synthetic RiotBench-style corpus to disk in bounded memory.
+
+    Unlike :func:`inflate` (which materialises the whole corpus in RAM,
+    matching the paper's preloaded-44-MB setup), this writes batches of
+    ``batch_records`` freshly generated records at a time until the file
+    reaches ``target_bytes`` — peak memory is one batch, so multi-GB
+    corpora for the larger-than-memory experiments cost disk, not RAM.
+    Each batch uses a distinct generator seed (derived from ``seed``),
+    so batch contents — and therefore their dataset fingerprints — are
+    unique rather than one batch repeated.
+
+    Returns a summary dict: ``path``, ``bytes``, ``records``,
+    ``batches``.
+    """
+    # local import: the generators build Dataset instances from this
+    # module, so a top-level import would be circular
+    from .riotbench import load_dataset
+
+    if target_bytes <= 0:
+        raise ReproError("target size must be positive")
+    if batch_records <= 0:
+        raise ReproError("batch_records must be positive")
+    total = 0
+    records_written = 0
+    batches = 0
+    with open(path, "wb") as handle:
+        while total < target_bytes:
+            batch = load_dataset(
+                dataset, batch_records, seed=seed + batches
+            )
+            payload = b"".join(
+                record + b"\n" for record in batch.records
+            )
+            handle.write(payload)
+            total += len(payload)
+            records_written += len(batch.records)
+            batches += 1
+    return {
+        "path": str(path),
+        "bytes": total,
+        "records": records_written,
+        "batches": batches,
+    }

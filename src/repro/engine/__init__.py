@@ -21,8 +21,11 @@ layers that model the paper's ingest/evaluation boundary explicitly:
 
 * :class:`~repro.engine.sources.ChunkSource` — where bytes come from
   (:class:`FileSource`, :class:`IterableSource`, :class:`SocketSource`,
-  an :class:`AsyncSource` adapter), with per-source chunk/byte
-  accounting; records are reframed across chunk seams by
+  an :class:`AsyncSource` adapter, the zero-copy :class:`MmapSource`
+  for larger-than-memory regular files, and a :class:`ReadaheadSource`
+  wrapper overlapping ingest with evaluation through a bounded
+  prefetch thread), with per-source chunk/byte accounting; records are
+  reframed across chunk seams by
   :class:`repro.engine.framing.RecordFramer` and evaluated in bounded
   memory;
 * :class:`~repro.engine.transport.WorkerTransport` — how framed chunks
@@ -43,10 +46,17 @@ layers that model the paper's ingest/evaluation boundary explicitly:
 per-corpus dataset views are memoised by content fingerprint, so
 design-space queries sharing atoms, re-streamed chunks and reconfigured
 filters reuse previously computed state instead of re-running the
-vectorised sweeps.
+vectorised sweeps.  ``EngineConfig(cache_store=DIR)`` adds a persistent
+disk tier (:class:`~repro.engine.cache_store.CacheStore`) under that
+cache: LRU-evicted entries demote to an append-mostly on-disk log
+instead of vanishing, and misses promote them back in fingerprint
+batches — so corpora far larger than the cache's byte cap stream warm,
+and a restarted process serves the previous run's entries without
+loading the whole cache into RAM.
 """
 
 from .atom_cache import AtomCache, as_atom_cache, dataset_fingerprint
+from .cache_store import CacheStore, as_cache_store
 from .backends import (
     BACKENDS,
     Backend,
@@ -74,10 +84,13 @@ from .engine import (
 )
 from .framing import RecordFramer, iter_file_chunks
 from .sources import (
+    MMAP_THRESHOLD_BYTES,
     AsyncSource,
     ChunkSource,
     FileSource,
     IterableSource,
+    MmapSource,
+    ReadaheadSource,
     SocketSource,
     as_chunk_source,
     ingest_dataset,
@@ -97,6 +110,8 @@ __all__ = [
     "AtomCache",
     "as_atom_cache",
     "dataset_fingerprint",
+    "CacheStore",
+    "as_cache_store",
     "BACKENDS",
     "Backend",
     "ScalarBackend",
@@ -118,10 +133,13 @@ __all__ = [
     "scalar_match_bits",
     "RecordFramer",
     "iter_file_chunks",
+    "MMAP_THRESHOLD_BYTES",
     "AsyncSource",
     "ChunkSource",
     "FileSource",
     "IterableSource",
+    "MmapSource",
+    "ReadaheadSource",
     "SocketSource",
     "as_chunk_source",
     "ingest_dataset",

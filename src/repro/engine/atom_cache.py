@@ -38,7 +38,7 @@ from collections import OrderedDict
 
 import numpy as np
 
-from ..errors import ReproError
+from ..errors import CachePersistenceError, ReproError
 from ..eval.harness import DatasetView, evaluate_atom
 from ..eval.harness import evaluate_atoms as harness_evaluate_atoms
 
@@ -84,7 +84,7 @@ class AtomCache:
     """
 
     def __init__(self, max_entries=1024, max_bytes=128 << 20,
-                 max_views=4):
+                 max_views=4, store=None):
         if max_entries is not None and max_entries <= 0:
             raise ReproError("max_entries must be positive (or None)")
         if max_bytes is not None and max_bytes <= 0:
@@ -94,6 +94,15 @@ class AtomCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.max_views = max_views
+        #: optional persistent disk tier (:class:`~repro.engine.
+        #: cache_store.CacheStore`): LRU-evicted entries demote to it
+        #: instead of vanishing, misses probe it and promote whole
+        #: fingerprint batches back — see :meth:`attach_store`
+        self.store = None
+        self.tier_hits = 0
+        self.tier_misses = 0
+        self.demoted = 0
+        self.promoted = 0
         self._entries = OrderedDict()  # (fingerprint, key) -> array
         self._views = OrderedDict()    # fingerprint -> DatasetView
         #: guards the two OrderedDicts — the serve-layer engine pool
@@ -108,13 +117,86 @@ class AtomCache:
         #: when a list, :meth:`put` records every insert here (see
         #: :meth:`track_deltas` — the worker merge-back mechanism)
         self.delta_log = None
+        if store is not None:
+            self.attach_store(store)
+
+    # -- the persistent disk tier -------------------------------------------
+
+    def attach_store(self, store):
+        """Attach a persistent disk tier (a :class:`CacheStore` or a
+        directory path one is opened at).
+
+        From then on this cache is **tiered**: entries evicted by the
+        LRU bounds are demoted to the store (append-mostly, skipped if
+        already stored) instead of discarded, and a :meth:`lookup`
+        miss probes the store — a store hit promotes *every* stored
+        entry of that dataset fingerprint back into memory in one
+        sequential batch (the requested key last, so it is the most
+        recently used).  ``tier_hits``/``tier_misses``/``demoted``/
+        ``promoted`` count the tier traffic in :meth:`stats`.
+
+        Store-served lookups count as cache hits — like a memory hit,
+        they avoid recomputing the vectorised sweep; ``tier_hits``
+        separates the two in the stats.
+        """
+        from .cache_store import as_cache_store
+
+        with self._lock:
+            self.store = as_cache_store(store)
+        return self
+
+    def _demote(self, fingerprint, key, array):
+        """Spill one LRU-evicted entry to the disk tier (lock held)."""
+        if self.store is not None and self.store.put(
+            fingerprint, key, array
+        ):
+            self.demoted += 1
+
+    def _promote(self, fingerprint, key):
+        """Probe the disk tier for a missed key (lock held).
+
+        Promotes the whole fingerprint batch (one sequential log
+        sweep) and returns the requested entry, or ``None`` when the
+        store does not hold it either.
+        """
+        batch = self.store.fingerprint_batch(fingerprint)
+        found = any(stored_key == key for stored_key, _ in batch)
+        if not found:
+            self.tier_misses += 1
+            return None
+        self.tier_hits += 1
+        # requested key inserted last: if the batch alone overflows the
+        # LRU bounds, the entry actually being asked for survives
+        batch.sort(key=lambda entry: entry[0] == key)
+        requested = None
+        for stored_key, array in batch:
+            if (fingerprint, stored_key) not in self._entries:
+                array = self.put(fingerprint, stored_key, array)
+                self.promoted += 1
+            else:
+                array = self._entries[(fingerprint, stored_key)]
+            if stored_key == key:
+                requested = array
+        return requested
 
     # -- raw entry access ---------------------------------------------------
 
     def lookup(self, fingerprint, key):
-        """The cached array for (fingerprint, key), or ``None``; counts."""
+        """The cached array for (fingerprint, key), or ``None``; counts.
+
+        With a disk tier attached, a memory miss probes the store and
+        (on a store hit) promotes the whole fingerprint batch; the
+        lookup then still counts as a hit — the sweep was not
+        recomputed — with ``tier_hits`` recording that the disk tier
+        served it.
+        """
         with self._lock:
             entry = self._entries.get((fingerprint, key))
+            if entry is None and self.store is not None:
+                entry = self._promote(fingerprint, key)
+                if entry is not None:
+                    self.hits += 1
+                    return entry
             if entry is None:
                 self.misses += 1
                 return None
@@ -139,9 +221,13 @@ class AtomCache:
                 or (self.max_bytes is not None
                     and self._bytes > self.max_bytes)
             ):
-                _, evicted = self._entries.popitem(last=False)
+                evicted_key, evicted = self._entries.popitem(last=False)
                 self._bytes -= evicted.nbytes
                 self.evictions += 1
+                # tiered cache: cold entries demote to disk instead of
+                # vanishing (no-op when already stored — fingerprints
+                # are content hashes, so the log never grows on churn)
+                self._demote(evicted_key[0], evicted_key[1], evicted)
             if self.delta_log is not None:
                 self.delta_log.append((fingerprint, key, array))
         return array
@@ -322,18 +408,36 @@ class AtomCache:
         ``path`` must be trusted: spills are pickles, and unpickling
         runs before the format check can reject foreign content (see
         :meth:`save`).
+
+        A truncated or otherwise undecodable spill raises a typed
+        :class:`~repro.errors.CachePersistenceError` (a
+        :class:`ReproError`) instead of leaking a raw
+        ``EOFError``/``UnpicklingError`` from pickle.
         """
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except OSError:
+            raise
+        except Exception as err:
+            raise CachePersistenceError(
+                f"{path!r} is not a readable AtomCache spill "
+                f"(truncated or corrupt): {err}"
+            ) from err
         if (
             not isinstance(payload, dict)
             or payload.get("format") != 1
             or "entries" not in payload
         ):
-            raise ReproError(
+            raise CachePersistenceError(
                 f"{path!r} is not an AtomCache spill file"
             )
-        return cls(**kwargs).load_snapshot(payload["entries"])
+        try:
+            return cls(**kwargs).load_snapshot(payload["entries"])
+        except (TypeError, ValueError) as err:
+            raise CachePersistenceError(
+                f"{path!r} holds malformed AtomCache entries: {err}"
+            ) from err
 
     # -- reporting ----------------------------------------------------------
 
@@ -354,7 +458,13 @@ class AtomCache:
         return total
 
     def stats(self):
-        """Counters snapshot: hits/misses/evictions/entries/bytes."""
+        """Counters snapshot: hits/misses/evictions/entries/bytes.
+
+        With a disk tier attached, ``tier_hits``/``tier_misses`` count
+        store probes on memory misses, ``demoted``/``promoted`` count
+        entries spilled to / reloaded from the tier, and ``store``
+        carries the store's own counters (entries, log bytes, reads).
+        """
         with self._lock:
             lookups = self.hits + self.misses
             return {
@@ -367,6 +477,14 @@ class AtomCache:
                 "bytes": self._bytes,
                 "views": len(self._views),
                 "view_bytes": self.view_bytes(),
+                "tier_hits": self.tier_hits,
+                "tier_misses": self.tier_misses,
+                "demoted": self.demoted,
+                "promoted": self.promoted,
+                "store": (
+                    self.store.stats() if self.store is not None
+                    else None
+                ),
             }
 
     def __repr__(self):

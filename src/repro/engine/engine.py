@@ -57,7 +57,8 @@ class EngineConfig:
 
     def __init__(self, backend="vectorized",
                  chunk_bytes=DEFAULT_CHUNK_BYTES, num_workers=1,
-                 transport=DEFAULT_TRANSPORT, mp_context=None):
+                 transport=DEFAULT_TRANSPORT, mp_context=None,
+                 cache_store=None):
         if chunk_bytes <= 0:
             raise ReproError("chunk_bytes must be positive")
         if num_workers <= 0:
@@ -73,6 +74,11 @@ class EngineConfig:
         #: :func:`repro.engine.transport.resolve_mp_context`)
         self.mp_context = mp_context
         resolve_mp_context(mp_context)  # fail fast on unknown methods
+        #: persistent disk tier under the engine's AtomCache: a
+        #: :class:`~repro.engine.cache_store.CacheStore` instance or a
+        #: directory path (implies an AtomCache when none is passed) —
+        #: LRU-evicted entries demote to disk, misses promote them back
+        self.cache_store = cache_store
 
     def transport_name(self):
         transport = resolve_transport(self.transport)
@@ -84,7 +90,8 @@ class EngineConfig:
             f"chunk_bytes={self.chunk_bytes}, "
             f"num_workers={self.num_workers}, "
             f"transport={self.transport_name()!r}, "
-            f"mp_context={self.mp_context!r})"
+            f"mp_context={self.mp_context!r}, "
+            f"cache_store={self.cache_store!r})"
         )
 
 
@@ -129,7 +136,7 @@ class FilterEngine:
     def __init__(self, backend="vectorized",
                  chunk_bytes=DEFAULT_CHUNK_BYTES, num_workers=1,
                  config=None, cache=None, transport=DEFAULT_TRANSPORT,
-                 mp_context=None):
+                 mp_context=None, cache_store=None):
         if isinstance(backend, EngineConfig):
             # FilterEngine(EngineConfig(...)) — the config is the
             # natural first positional argument, not a backend name
@@ -142,7 +149,7 @@ class FilterEngine:
             backend = "vectorized"
         if config is None:
             config = EngineConfig(backend, chunk_bytes, num_workers,
-                                  transport, mp_context)
+                                  transport, mp_context, cache_store)
         elif not isinstance(config, EngineConfig):
             raise ReproError(
                 f"config must be an EngineConfig, got {config!r}"
@@ -155,6 +162,7 @@ class FilterEngine:
                     ("num_workers", num_workers, 1),
                     ("transport", transport, DEFAULT_TRANSPORT),
                     ("mp_context", mp_context, None),
+                    ("cache_store", cache_store, None),
                 )
                 if value != default
             ]
@@ -171,6 +179,12 @@ class FilterEngine:
         #: queries, streams and chunk batches; ``cache=True`` builds a
         #: default-sized one, ``None``/``False`` disables caching
         self.atom_cache = as_atom_cache(cache)
+        if self.config.cache_store is not None:
+            # a disk tier needs an in-memory tier above it: an engine
+            # configured with a store but no cache gets the default one
+            if self.atom_cache is None:
+                self.atom_cache = as_atom_cache(True)
+            self.atom_cache.attach_store(self.config.cache_store)
         #: observed per-atom pass rates, shared across this engine's
         #: backends: fed by vectorised and compiled evaluation alike,
         #: consumed by the compiled kernels' selectivity ordering and

@@ -48,6 +48,16 @@ class WorkerCrashError(ReproError):
     """
 
 
+class CachePersistenceError(ReproError):
+    """A persisted cache artifact is unreadable (truncated/corrupt).
+
+    Raised by :meth:`repro.engine.atom_cache.AtomCache.from_file` and by
+    :class:`repro.engine.cache_store.CacheStore` when a spill file or
+    disk-tier log cannot be decoded — a clear, typed signal instead of
+    a raw ``EOFError``/``UnpicklingError`` escaping from pickle.
+    """
+
+
 class SynthesisError(ReproError):
     """A circuit could not be built or technology-mapped."""
 

@@ -77,12 +77,13 @@ class EnginePool:
     """
 
     def __init__(self, size=2, cache=True, backend="compiled",
-                 workers=1):
+                 workers=1, cache_store=None):
         if size <= 0:
             raise GatewayError("engine pool size must be positive")
         if workers <= 0:
             raise GatewayError("engine workers must be positive")
-        if cache is True:
+        if cache is True or (cache in (None, False)
+                             and cache_store is not None):
             # a service sees many (batch x atom) entries per stream;
             # the default 1024-entry LRU would evict a long stream's
             # working set before a second tenant can reuse it, so the
@@ -91,6 +92,11 @@ class EnginePool:
 
             cache = AtomCache(max_entries=None)
         self.cache = as_atom_cache(cache)
+        if cache_store is not None:
+            # disk tier under the shared cache: a restarted gateway
+            # serves the previous process's masks warm, promoted on
+            # demand — the log index is scanned, not loaded into RAM
+            self.cache.attach_store(cache_store)
         self.workers = workers
         self.engines = [
             FilterEngine(backend=backend, cache=self.cache,
@@ -402,8 +408,9 @@ class FilterGateway:
 
     def __init__(self, host="127.0.0.1", port=0, *, engines=2,
                  cache=True, backend="compiled", workers=1,
-                 max_sessions=32, max_inflight_bytes=64 << 20,
-                 queue_chunks=8, drain_timeout=5.0):
+                 cache_store=None, max_sessions=32,
+                 max_inflight_bytes=64 << 20, queue_chunks=8,
+                 drain_timeout=5.0):
         if max_sessions <= 0:
             raise GatewayError("max_sessions must be positive")
         if max_inflight_bytes <= 0:
@@ -413,7 +420,7 @@ class FilterGateway:
         self.host = host
         self.port = port
         self.pool = EnginePool(engines, cache=cache, backend=backend,
-                               workers=workers)
+                               workers=workers, cache_store=cache_store)
         self.max_sessions = max_sessions
         self.max_inflight_bytes = max_inflight_bytes
         self.queue_chunks = queue_chunks
