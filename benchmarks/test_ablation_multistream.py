@@ -15,7 +15,6 @@ from repro.system.multi import (
     MultiStreamSoC,
     ReconfigurableSoC,
     StreamAssignment,
-    reconfiguration_seconds,
 )
 
 from common import dataset, write_result

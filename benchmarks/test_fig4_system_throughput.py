@@ -12,7 +12,7 @@ from repro.core.compiler import paper_pareto_expression
 from repro.data import QS0, inflate
 from repro.eval.metrics import FilterMetrics
 from repro.eval.report import render_table
-from repro.system import RawFilterSoC, SoCConfig
+from repro.system import RawFilterSoC
 
 from common import dataset, write_result
 

@@ -43,6 +43,7 @@ setup(
     install_requires=["numpy"],
     package_dir={"": "src"},
     packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
     entry_points={
         "console_scripts": [
             "repro=repro.cli:main",

@@ -1,0 +1,103 @@
+"""Findings and the checked-in baseline/suppression file.
+
+Every static-analysis pass in :mod:`repro.analysis` reports
+:class:`Finding` instances.  A finding's :meth:`~Finding.fingerprint`
+deliberately excludes the line number — baselines must survive
+unrelated edits shifting code up and down — and the baseline file is a
+plain JSON document (``lint-baseline.json`` at the repo root) listing
+the fingerprints of accepted pre-existing findings.  ``repro lint``
+reports only findings *not* in the baseline and exits non-zero when any
+remain; ``repro lint --update-baseline`` rewrites the file from the
+current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import ReproError
+
+BASELINE_FORMAT = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class Finding:
+    """One static-analysis diagnostic."""
+
+    __slots__ = ("rule", "path", "line", "symbol", "message")
+
+    def __init__(self, rule: str, path: str, line: int, symbol: str,
+                 message: str) -> None:
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.symbol = symbol
+        self.message = message
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity used for baseline matching."""
+        return f"{self.rule}::{self.path}::{self.symbol}::{self.message}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: [{self.rule}] "
+            f"{self.symbol}: {self.message}"
+        )
+
+    def __repr__(self) -> str:
+        return f"Finding({self.render()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Finding):
+            return NotImplemented
+        return self.fingerprint() == other.fingerprint()
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint())
+
+
+def load_baseline(path: str) -> set[str]:
+    """The fingerprint set of a baseline file (missing file = empty)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload: Any = json.load(handle)
+    except FileNotFoundError:
+        return set()
+    except (OSError, ValueError) as err:
+        raise ReproError(
+            f"unreadable lint baseline {path!r}: {err}"
+        ) from err
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != BASELINE_FORMAT
+        or not isinstance(payload.get("suppressions"), list)
+    ):
+        raise ReproError(
+            f"{path!r} is not a lint baseline file "
+            f"(expected format {BASELINE_FORMAT})"
+        )
+    return {str(entry) for entry in payload["suppressions"]}
+
+
+def save_baseline(path: str, findings: list[Finding]) -> int:
+    """Write the findings' fingerprints as the new baseline."""
+    suppressions = sorted({f.fingerprint() for f in findings})
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"format": BASELINE_FORMAT, "suppressions": suppressions},
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+    return len(suppressions)
+
+
+def filter_baselined(
+    findings: list[Finding], baseline: set[str]
+) -> list[Finding]:
+    """The findings whose fingerprints are not baselined."""
+    return [
+        finding for finding in findings
+        if finding.fingerprint() not in baseline
+    ]

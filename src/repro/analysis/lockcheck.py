@@ -1,0 +1,255 @@
+"""Annotation-driven lock-discipline checking.
+
+The repo's real concurrency model is small and explicit: a handful of
+objects (the shared :class:`~repro.engine.atom_cache.AtomCache`, the
+:class:`~repro.engine.compiled.SelectivityTracker`, the resident
+pool's shared-memory slot ring, the gateway metrics) are mutated from
+several threads and guard their state with one lock each.  This pass
+makes that discipline checkable:
+
+* an attribute is declared *guarded* by a trailing comment on the
+  assignment that introduces it::
+
+      self._entries = OrderedDict()  # guarded-by: _lock
+
+  module-level globals use the same comment on their defining
+  assignment, naming a module-level lock::
+
+      _KERNELS = OrderedDict()  # guarded-by: _KERNELS_LOCK
+
+* every later read or write of a guarded attribute must happen inside
+  the owning ``with self._lock:`` (or ``with _KERNELS_LOCK:``) block —
+  lexically, within the same function;
+
+* helper methods documented to be called with the lock held annotate
+  their ``def`` line with ``# holds-lock: _lock``;
+
+* an individual access can be suppressed with ``# unlocked-ok:
+  <reason>`` — the justification stays next to the code.
+
+``__init__`` bodies are exempt (construction precedes sharing).
+Nested functions reset the held-lock set: a closure may run after the
+enclosing ``with`` block exited, so it must take (or be annotated to
+hold) the lock itself.
+
+This is a *lexical* checker by design — no alias or interprocedural
+analysis.  Accesses through anything but ``self.<attr>`` (or the bare
+global name) are invisible to it; the annotations mark the owning
+class's own discipline, which is where every race this repo has
+actually seen lived.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from .findings import Finding
+
+GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+HOLDS_RE = re.compile(r"#\s*holds-lock:\s*([A-Za-z_][A-Za-z0-9_]*)")
+SUPPRESS_RE = re.compile(r"#\s*unlocked-ok\b")
+
+RULE = "lock-discipline"
+
+
+def _line_comment_match(
+    lines: list[str], lineno: int, pattern: re.Pattern[str]
+) -> str | None:
+    if 1 <= lineno <= len(lines):
+        match = pattern.search(lines[lineno - 1])
+        if match is not None:
+            return match.group(1)
+    return None
+
+
+def _is_self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _ModuleFacts:
+    """Guarded declarations harvested from one module."""
+
+    def __init__(self) -> None:
+        #: class name -> {attr -> lock attr}
+        self.class_guards: dict[str, dict[str, str]] = {}
+        #: module-global name -> lock global name
+        self.global_guards: dict[str, str] = {}
+
+
+def _harvest(tree: ast.Module, lines: list[str]) -> _ModuleFacts:
+    facts = _ModuleFacts()
+    for node in tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            lock = _line_comment_match(lines, node.lineno, GUARDED_RE)
+            if lock is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    facts.global_guards[target.id] = lock
+        elif isinstance(node, ast.ClassDef):
+            guards: dict[str, str] = {}
+            for inner in ast.walk(node):
+                if not isinstance(inner, (ast.Assign, ast.AnnAssign)):
+                    continue
+                lock = _line_comment_match(
+                    lines, inner.lineno, GUARDED_RE
+                )
+                if lock is None:
+                    continue
+                targets = (
+                    inner.targets if isinstance(inner, ast.Assign)
+                    else [inner.target]
+                )
+                for target in targets:
+                    attr = _is_self_attr(target)
+                    if attr is not None:
+                        guards[attr] = lock
+            if guards:
+                facts.class_guards[node.name] = guards
+    return facts
+
+
+class _AccessChecker:
+    """Lexical walk of one function, tracking held locks."""
+
+    def __init__(self, path: str, lines: list[str], symbol: str,
+                 attr_guards: dict[str, str],
+                 global_guards: dict[str, str],
+                 findings: list[Finding]) -> None:
+        self.path = path
+        self.lines = lines
+        self.symbol = symbol
+        self.attr_guards = attr_guards
+        self.global_guards = global_guards
+        self.findings = findings
+
+    def check(self, func: ast.AST, held: frozenset[str]) -> None:
+        body = getattr(func, "body", [])
+        for stmt in body:
+            self._visit(stmt, held)
+
+    # -- the walk -----------------------------------------------------------
+
+    def _visit(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                self._visit(item.context_expr, held)
+                lock = self._lock_name(item.context_expr)
+                if lock is not None:
+                    acquired.add(lock)
+            inner = held | acquired
+            for stmt in node.body:
+                self._visit(stmt, inner)
+            return
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            # a closure can outlive the enclosing with-block
+            nested = self._declared_holds(node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child, nested)
+            return
+        attr = _is_self_attr(node)
+        if attr is not None and attr in self.attr_guards:
+            self._require(node, self.attr_guards[attr],
+                          f"self.{attr}", held)
+        elif (
+            isinstance(node, ast.Name)
+            and node.id in self.global_guards
+        ):
+            self._require(node, self.global_guards[node.id],
+                          node.id, held)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _declared_holds(self, node: ast.AST) -> frozenset[str]:
+        lock = _line_comment_match(
+            self.lines, getattr(node, "lineno", 0), HOLDS_RE
+        )
+        return frozenset() if lock is None else frozenset({lock})
+
+    def _lock_name(self, expr: ast.AST) -> str | None:
+        attr = _is_self_attr(expr)
+        if attr is not None:
+            return attr
+        if isinstance(expr, ast.Name):
+            return expr.id
+        return None
+
+    def _require(self, node: ast.AST, lock: str, what: str,
+                 held: frozenset[str]) -> None:
+        if lock in held:
+            return
+        lineno = getattr(node, "lineno", 0)
+        if (
+            1 <= lineno <= len(self.lines)
+            and SUPPRESS_RE.search(self.lines[lineno - 1])
+        ):
+            return
+        self.findings.append(Finding(
+            RULE, self.path, lineno, self.symbol,
+            f"{what} (guarded by {lock}) accessed outside "
+            f"'with {lock}'",
+        ))
+
+
+def _function_defs(
+    body: Iterable[ast.stmt],
+) -> Iterable[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def check_source(source: str, path: str) -> list[Finding]:
+    """Lock-discipline findings for one module's source text."""
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as err:
+        return [Finding(
+            RULE, path, err.lineno or 0, "<module>",
+            f"does not parse: {err.msg}",
+        )]
+    facts = _harvest(tree, lines)
+    findings: list[Finding] = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            guards = facts.class_guards.get(node.name, {})
+            for func in _function_defs(node.body):
+                if func.name == "__init__":
+                    continue  # construction precedes sharing
+                checker = _AccessChecker(
+                    path, lines, f"{node.name}.{func.name}",
+                    guards, facts.global_guards, findings,
+                )
+                held = checker._declared_holds(func)
+                checker.check(func, held)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not facts.global_guards:
+                continue
+            checker = _AccessChecker(
+                path, lines, node.name, {},
+                facts.global_guards, findings,
+            )
+            held = checker._declared_holds(node)
+            checker.check(node, held)
+    return findings
+
+
+def check_file(path: str) -> list[Finding]:
+    with open(path, encoding="utf-8") as handle:
+        return check_source(handle.read(), path)

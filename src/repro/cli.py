@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Seven subcommands cover the library's main workflows:
+Eight subcommands cover the library's main workflows:
 
 * ``generate`` — write one of the synthetic benchmark datasets as NDJSON;
 * ``explore``  — run design-space exploration for a RiotBench query and
@@ -18,7 +18,11 @@ Seven subcommands cover the library's main workflows:
 * ``serve``    — run the long-lived multi-tenant filter gateway
   (``repro.serve``); ``--status`` queries a running gateway instead;
 * ``submit``   — stream an NDJSON file through a running gateway and
-  emit the accepted records.
+  emit the accepted records;
+* ``lint``     — run the repo's static analysis passes
+  (:mod:`repro.analysis`): kernel-verifier self-check, lock-discipline
+  checker, resource-lifecycle linter.  Exit 1 on non-baselined
+  findings (the CI gate).
 
 Filter expressions use a small s-expression-free syntax::
 
@@ -726,6 +730,47 @@ def cmd_submit(args):
     return 0
 
 
+def cmd_lint(args):
+    """Static analysis over the package (or explicit paths)."""
+    from .analysis import (
+        DEFAULT_BASELINE_NAME,
+        filter_baselined,
+        load_baseline,
+        run_lint,
+        save_baseline,
+    )
+
+    rules = tuple(
+        rule.strip() for rule in args.rules.split(",") if rule.strip()
+    )
+    paths = list(args.paths) or None
+    root = os.getcwd() if paths is not None else None
+    findings = run_lint(paths, rules, root=root)
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE_NAME):
+        baseline_path = DEFAULT_BASELINE_NAME
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        count = save_baseline(target, findings)
+        print(f"wrote {count} suppression(s) to {target}")
+        return 0
+    suppressed = 0
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        kept = filter_baselined(findings, baseline)
+        suppressed = len(findings) - len(kept)
+        findings = kept
+    for finding in findings:
+        print(finding.render())
+    summary = (
+        f"{len(findings)} finding(s)"
+        + (f", {suppressed} baselined" if suppressed else "")
+        + f" [rules: {', '.join(rules)}]"
+    )
+    print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
 def build_arg_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -897,6 +942,33 @@ def build_arg_parser():
         help="print this tenant's gateway metrics after the stream",
     )
     submit.set_defaults(func=cmd_submit)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the static analysis passes (kernel verifier, "
+             "lock discipline, resource lifecycle)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the installed "
+             "repro package source)",
+    )
+    lint.add_argument(
+        "--rules", default="locks,lifecycle,kernels",
+        help="comma-separated pass names to run "
+             "(locks, lifecycle, kernels)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="suppression file of known findings (default: "
+             "./lint-baseline.json when present)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings "
+             "instead of failing on them",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

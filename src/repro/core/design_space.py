@@ -205,7 +205,7 @@ class DesignSpace:
             points.append(ExploredPoint(choice, fpr, luts, attributes))
         return points
 
-    # -- reporting -------------------------------------------------------------
+    # -- reporting ------------------------------------------------------------
 
     def pareto(self, points=None, epsilon=1e-9, exact_luts=True):
         """Pareto-optimal configurations as DesignPoints (Tables V-VII).

@@ -175,7 +175,9 @@ def load_dataset(name, num_records=4000, seed=None):
     from .twitter import generate_twitter
 
     if name == "smartcity":
-        return generate_smartcity(num_records, seed=7 if seed is None else seed)
+        return generate_smartcity(
+            num_records, seed=7 if seed is None else seed
+        )
     if name == "taxi":
         return generate_taxi(num_records, seed=11 if seed is None else seed)
     if name == "twitter":

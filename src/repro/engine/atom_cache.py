@@ -98,25 +98,28 @@ class AtomCache:
         #: cache_store.CacheStore`): LRU-evicted entries demote to it
         #: instead of vanishing, misses probe it and promote whole
         #: fingerprint batches back — see :meth:`attach_store`
-        self.store = None
-        self.tier_hits = 0
-        self.tier_misses = 0
-        self.demoted = 0
-        self.promoted = 0
-        self._entries = OrderedDict()  # (fingerprint, key) -> array
-        self._views = OrderedDict()    # fingerprint -> DatasetView
-        #: guards the two OrderedDicts — the serve-layer engine pool
-        #: evaluates batches on several executor threads against one
-        #: shared cache, and LRU reordering is not atomic on its own
+        self.store = None  # guarded-by: _lock
+        self.tier_hits = 0  # guarded-by: _lock
+        self.tier_misses = 0  # guarded-by: _lock
+        self.demoted = 0  # guarded-by: _lock
+        self.promoted = 0  # guarded-by: _lock
+        # (fingerprint, key) -> array
+        self._entries = OrderedDict()  # guarded-by: _lock
+        # fingerprint -> DatasetView
+        self._views = OrderedDict()  # guarded-by: _lock
+        #: guards every mutable slot of this cache — the serve-layer
+        #: engine pool evaluates batches on several executor threads
+        #: against one shared cache, and LRU reordering is not atomic
+        #: on its own
         self._lock = threading.RLock()
-        self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.inserts = 0
+        self._bytes = 0  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self.inserts = 0  # guarded-by: _lock
         #: when a list, :meth:`put` records every insert here (see
         #: :meth:`track_deltas` — the worker merge-back mechanism)
-        self.delta_log = None
+        self.delta_log = None  # guarded-by: _lock
         if store is not None:
             self.attach_store(store)
 
@@ -145,14 +148,14 @@ class AtomCache:
             self.store = as_cache_store(store)
         return self
 
-    def _demote(self, fingerprint, key, array):
+    def _demote(self, fingerprint, key, array):  # holds-lock: _lock
         """Spill one LRU-evicted entry to the disk tier (lock held)."""
         if self.store is not None and self.store.put(
             fingerprint, key, array
         ):
             self.demoted += 1
 
-    def _promote(self, fingerprint, key):
+    def _promote(self, fingerprint, key):  # holds-lock: _lock
         """Probe the disk tier for a missed key (lock held).
 
         Promotes the whole fingerprint batch (one sequential log
@@ -233,10 +236,12 @@ class AtomCache:
         return array
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, full_key):
-        return full_key in self._entries
+        with self._lock:
+            return full_key in self._entries
 
     def clear(self):
         """Drop all entries and memoised views (counters are kept)."""
@@ -334,15 +339,17 @@ class AtomCache:
         :meth:`pop_deltas` hands the recorded entries over (and resets
         the log), so each entry ships back exactly once.
         """
-        self.delta_log = []
+        with self._lock:
+            self.delta_log = []
         return self
 
     def pop_deltas(self):
         """Return-and-reset the recorded delta entries (may be empty)."""
-        if self.delta_log is None:
-            return []
-        deltas, self.delta_log = self.delta_log, []
-        return deltas
+        with self._lock:
+            if self.delta_log is None:
+                return []
+            deltas, self.delta_log = self.delta_log, []
+            return deltas
 
     def merge_snapshot(self, entries, record_deltas=True):
         """Merge snapshot entries computed elsewhere into this cache.
@@ -443,7 +450,8 @@ class AtomCache:
 
     @property
     def nbytes(self):
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def view_bytes(self):
         """Approximate bytes retained by the memoised dataset views

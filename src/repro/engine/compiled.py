@@ -49,13 +49,23 @@ framing property the stream-level vectorised evaluator and the
 hardware's ``record_reset`` already depend on.  Predicates with no
 raw-filter expression form degrade to the vectorized path with a
 once-per-backend warning (see :meth:`CompiledBackend.stats`).
+
+The generated source and the plan it executes are additionally
+checkable: :mod:`repro.analysis.kernel_verify` proves the source stays
+inside the kernel ABI whitelist and the plan boolean-equivalent to the
+expression.  ``CompiledBackend(verify_kernels=...)`` runs that proof
+(memoised per filter fingerprint) on every kernel it executes; the
+default ``None`` resolves to *on* under pytest and *off* otherwise,
+and ``repro serve`` turns it on explicitly.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 import warnings
 from collections import OrderedDict
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
@@ -100,11 +110,14 @@ class SelectivityTracker:
     ROADMAP's online-adaptive-filtering item needs.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._stats = {}  # cache_key -> [notation, evaluated, passed]
+        #: cache_key -> [notation, evaluated, passed]
+        self._stats: dict[str, list[Any]] = {}  # guarded-by: _lock
 
-    def observe(self, atom, evaluated, passed):
+    def observe(
+        self, atom: comp.RawFilter, evaluated: int, passed: int
+    ) -> None:
         """Record that ``atom`` passed ``passed`` of ``evaluated`` records."""
         if evaluated <= 0:
             return
@@ -117,14 +130,17 @@ class SelectivityTracker:
                 entry[1] += evaluated
                 entry[2] += passed
 
-    def rate(self, atom, default=None):
+    def rate(
+        self, atom: comp.RawFilter, default: float | None = None
+    ) -> float | None:
         """Observed pass rate of ``atom`` (``default`` if never seen)."""
-        entry = self._stats.get(atom.cache_key())
-        if entry is None or entry[1] == 0:
-            return default
-        return entry[2] / entry[1]
+        with self._lock:
+            entry = self._stats.get(atom.cache_key())
+            if entry is None or entry[1] == 0:
+                return default
+            return entry[2] / entry[1]
 
-    def snapshot(self):
+    def snapshot(self) -> dict[str, dict[str, Any]]:
         """``{notation: {evaluated, passed, selectivity}}``, most
         selective (lowest pass rate) first."""
         with self._lock:
@@ -142,19 +158,21 @@ class SelectivityTracker:
             for notation, evaluated, passed in rows
         }
 
-    def clear(self):
+    def clear(self) -> None:
         with self._lock:
             self._stats.clear()
 
-    def __repr__(self):
-        return f"SelectivityTracker(atoms={len(self._stats)})"
+    def __repr__(self) -> str:
+        with self._lock:
+            count = len(self._stats)
+        return f"SelectivityTracker(atoms={count})"
 
 
 # ---------------------------------------------------------------------------
 # cost seeds (the static half of the ordering decision)
 # ---------------------------------------------------------------------------
 
-_COST_SEEDS = {}
+_COST_SEEDS: dict[str, float] = {}  # guarded-by: _COST_LOCK
 _COST_LOCK = threading.Lock()
 
 #: analytic mirror of the LUT model's per-kind shape (see cost_seed);
@@ -163,7 +181,7 @@ _GROUP_TRACKER_COST = 36.0
 _REGEX_COST = 640.0
 
 
-def _analytic_cost(atom):
+def _analytic_cost(atom: comp.RawFilter) -> float:
     """Closed-form stand-in for ``atom_luts`` with the same ranking.
 
     Calibrated against synthesised atoms (a short string matcher ~9
@@ -192,7 +210,7 @@ def _analytic_cost(atom):
     return 256.0
 
 
-def cost_seed(atom):
+def cost_seed(atom: comp.RawFilter) -> float:
     """Relative evaluation cost of one atom, per the LUT cost model.
 
     Uses :mod:`repro.core.cost`'s already synthesised LUT counts for
@@ -242,13 +260,15 @@ class KernelStep:
 
     __slots__ = ("index", "atom", "kind", "conjunct")
 
-    def __init__(self, index, atom, kind, conjunct):
+    def __init__(
+        self, index: int, atom: comp.RawFilter, kind: str, conjunct: int
+    ) -> None:
         self.index = index
         self.atom = atom
         self.kind = kind
         self.conjunct = conjunct
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"KernelStep(#{self.index} {self.kind} "
             f"{self.atom.notation()})"
@@ -260,19 +280,24 @@ class KernelPlan:
 
     __slots__ = ("expr", "mode", "steps")
 
-    def __init__(self, expr, mode, steps):
+    def __init__(
+        self,
+        expr: comp.RawFilter,
+        mode: str,
+        steps: Iterable[KernelStep],
+    ) -> None:
         self.expr = expr
         self.mode = mode  # "and" | "or"
         self.steps = tuple(steps)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"KernelPlan({self.mode}, steps={len(self.steps)}: "
             f"{self.expr.notation()})"
         )
 
 
-def _flatten_and(expr):
+def _flatten_and(expr: comp.And) -> Iterator[comp.RawFilter]:
     for child in expr.children:
         if isinstance(child, comp.And):
             yield from _flatten_and(child)
@@ -280,9 +305,9 @@ def _flatten_and(expr):
             yield child
 
 
-def build_plan(expr):
+def build_plan(expr: comp.RawFilter) -> KernelPlan:
     """Decompose an expression into prefilter + exact kernel steps."""
-    steps = []
+    steps: list[KernelStep] = []
     if isinstance(expr, comp.Or):
         for position, child in enumerate(expr.children):
             steps.append(
@@ -319,7 +344,7 @@ def build_plan(expr):
 # codegen
 # ---------------------------------------------------------------------------
 
-def generate_kernel_source(plan):
+def generate_kernel_source(plan: KernelPlan) -> str:
     """Emit the Python source of one fused kernel.
 
     One ``_step_<i>`` function per plan step — atom constants are bound
@@ -329,7 +354,7 @@ def generate_kernel_source(plan):
     sub-stream — plus the ``kernel`` driver that dispatches the steps
     in the selectivity order chosen per batch.
     """
-    lines = []
+    lines: list[str] = []
     emit = lines.append
     emit(f"# fused kernel: {plan.expr.notation()}")
     emit(f"# plan: {plan.mode}, {len(plan.steps)} steps")
@@ -377,11 +402,11 @@ class CompiledKernel:
 
     __slots__ = ("expr", "plan", "source", "fn")
 
-    def __init__(self, expr):
+    def __init__(self, expr: comp.RawFilter) -> None:
         self.expr = expr
         self.plan = build_plan(expr)
         self.source = generate_kernel_source(self.plan)
-        namespace = {"np": np}
+        namespace: dict[str, Any] = {"np": np}
         for step in self.plan.steps:
             namespace[f"ATOM_{step.index}"] = step.atom
             if isinstance(step.atom, comp.StringPredicate):
@@ -395,17 +420,19 @@ class CompiledKernel:
         exec(code, namespace)  # noqa: S102 - our own generated source
         self.fn = namespace["kernel"]
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"CompiledKernel({self.expr.notation()})"
 
 
 #: process-wide kernel registry: gateway SWAPs and design-space sweeps
 #: over recurring filters reuse compilations across engines and workers
-_KERNELS = OrderedDict()
+_KERNELS: OrderedDict[str, CompiledKernel] = (  # guarded-by: _KERNELS_LOCK
+    OrderedDict()
+)
 _KERNELS_LOCK = threading.Lock()
 
 
-def kernel_for(expr):
+def kernel_for(expr: comp.RawFilter) -> tuple[CompiledKernel, bool]:
     """``(kernel, reused)`` for an expression, LRU-cached by fingerprint."""
     key = expr.cache_key()
     with _KERNELS_LOCK:
@@ -423,11 +450,12 @@ def kernel_for(expr):
     return kernel, False
 
 
-def compiled_kernel_count():
-    return len(_KERNELS)
+def compiled_kernel_count() -> int:
+    with _KERNELS_LOCK:
+        return len(_KERNELS)
 
 
-def clear_kernels():
+def clear_kernels() -> None:
     """Drop all cached kernels (tests / cold benchmarks)."""
     with _KERNELS_LOCK:
         _KERNELS.clear()
@@ -448,15 +476,15 @@ class _SubBatch:
 
     __slots__ = ("stream", "starts", "name")
 
-    def __init__(self, stream, starts):
+    def __init__(self, stream: np.ndarray, starts: np.ndarray) -> None:
         self.stream = stream
         self.starts = starts
         self.name = "kernel-subbatch"
 
-    def __len__(self):
+    def __len__(self) -> int:
         return int(self.starts.shape[0])
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[bytes]:
         bounds = np.concatenate(
             (self.starts, [self.stream.shape[0]])
         )
@@ -465,11 +493,16 @@ class _SubBatch:
             yield blob[start:end - 1]  # strip the trailing newline
 
     @property
-    def total_bytes(self):
+    def total_bytes(self) -> int:
         return int(self.stream.shape[0])
 
 
-def _gather(stream, starts, lengths, indices):
+def _gather(
+    stream: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    indices: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
     """Compact (sub_stream, sub_starts) of the selected records."""
     selected = lengths[indices]
     count = indices.shape[0]
@@ -491,7 +524,7 @@ class KernelState:
                  "view", "cache", "fingerprint", "precomputed",
                  "short_circuited", "steps_run", "steps_skipped")
 
-    def __init__(self, dataset, plan):
+    def __init__(self, dataset: Any, plan: KernelPlan) -> None:
         self.dataset = dataset
         self.plan = plan
         self.stream = dataset.stream
@@ -506,25 +539,25 @@ class KernelState:
         #: rejects too few records to pay for a gather, the survivors
         #: are tracked here and the shared view is kept (see
         #: CompiledBackend.refine)
-        self.pending = None
+        self.pending: np.ndarray | None = None
         self.result = np.zeros(self.num_records, dtype=bool)
         self.full = True
-        self.view = None
-        self.cache = None
-        self.fingerprint = None
-        self.precomputed = {}
+        self.view: Any = None
+        self.cache: dict[Any, Any] | None = None
+        self.fingerprint: str | None = None
+        self.precomputed: dict[int, np.ndarray] = {}
         #: record-scans later atoms were spared by earlier rejections
         self.short_circuited = 0
         self.steps_run = 0
         self.steps_skipped = 0
 
     @property
-    def n_active(self):
+    def n_active(self) -> int:
         if self.pending is not None:
             return int(np.count_nonzero(self.pending))
         return int(self.active.shape[0])
 
-    def invalidate(self):
+    def invalidate(self) -> None:
         """The active set changed: sub-views are stale."""
         self.view = None
         self.cache = None
@@ -544,6 +577,13 @@ class CompiledBackend(Backend):
     :meth:`accumulate`, keeping all counters and cache integration in
     one place while the generated code carries the per-filter
     specialisation (step set, constants, dispatch).
+
+    ``verify_kernels`` gates the static kernel verifier
+    (:mod:`repro.analysis.kernel_verify`): ``True`` proves every
+    kernel's source whitelist + plan equivalence before it runs
+    (memoised per filter fingerprint, so the warm path pays one dict
+    probe), ``False`` skips it, and ``None`` — the default — resolves
+    to ``True`` exactly when pytest is loaded.
     """
 
     name = "compiled"
@@ -551,34 +591,45 @@ class CompiledBackend(Backend):
     #: stream for this backend (see FilterEngine._stream_target)
     wants_expression = True
 
-    def __init__(self, scalar_fallback=True, atom_cache=None,
-                 selectivity=None):
+    def __init__(
+        self,
+        scalar_fallback: bool = True,
+        atom_cache: Any = None,
+        selectivity: SelectivityTracker | None = None,
+        verify_kernels: bool | None = None,
+    ) -> None:
         self.scalar_fallback = scalar_fallback
         self.atom_cache = atom_cache
         #: shared tracker (attached by the owning engine); lazily
         #: created when the backend runs standalone
         self.selectivity = selectivity
+        self.verify_kernels = verify_kernels
         self.kernels_compiled = 0
         self.kernels_reused = 0
         self.atoms_short_circuited = 0
         self.fallbacks = 0
-        self.fallback_reason = None
+        self.fallback_reason: str | None = None
         self._fallback_warned = False
         self._vectorized = VectorizedBackend(
             scalar_fallback=scalar_fallback
         )
-        self._sampled = set()
+        self._sampled: set[str] = set()
 
     # -- tracker ------------------------------------------------------------
 
-    def tracker(self):
+    def tracker(self) -> SelectivityTracker:
         if self.selectivity is None:
             self.selectivity = SelectivityTracker()
         return self.selectivity
 
+    def _verify_enabled(self) -> bool:
+        if self.verify_kernels is not None:
+            return bool(self.verify_kernels)
+        return "pytest" in sys.modules
+
     # -- entry point --------------------------------------------------------
 
-    def match_bits(self, predicate, records):
+    def match_bits(self, predicate: Any, records: Any) -> np.ndarray:
         expr = resolve_expression(predicate)
         if expr is None:
             return self._fallback(predicate, records)
@@ -590,6 +641,12 @@ class CompiledBackend(Backend):
             self.kernels_reused += 1
         else:
             self.kernels_compiled += 1
+        if self._verify_enabled():
+            # raises KernelVerificationError on a miscompile; memoised
+            # by filter fingerprint so reused kernels pay a dict probe
+            from ..analysis.kernel_verify import verify_kernel
+
+            verify_kernel(kernel)
         state = KernelState(dataset, kernel.plan)
         if self.atom_cache is not None:
             state.fingerprint = dataset_fingerprint(dataset)
@@ -616,7 +673,7 @@ class CompiledBackend(Backend):
             return np.array(bits, dtype=bool)
         return bits
 
-    def _fallback(self, predicate, records):
+    def _fallback(self, predicate: Any, records: Any) -> np.ndarray:
         """Degrade to the vectorized path (match_array / scalar loop)."""
         reason = (
             f"predicate {predicate!r} has no raw-filter expression "
@@ -638,7 +695,9 @@ class CompiledBackend(Backend):
 
     # -- ordering -----------------------------------------------------------
 
-    def _seed_selectivity(self, kernel, state):
+    def _seed_selectivity(
+        self, kernel: CompiledKernel, state: KernelState
+    ) -> None:
         """First batch of a kernel's life: sample a head slice.
 
         Evaluating every step atom over the first few hundred records
@@ -659,7 +718,7 @@ class CompiledBackend(Backend):
         ) if count < state.num_records else int(state.stream.shape[0])
         sample = _SubBatch(state.stream[:end], state.starts[:count])
         view = harness.DatasetView(sample)
-        cache = {}
+        cache: dict[Any, Any] = {}
         tracker = self.tracker()
         for step in kernel.plan.steps:
             bits = harness.evaluate_atom(view, step.atom, cache)
@@ -667,7 +726,7 @@ class CompiledBackend(Backend):
                 step.atom, count, int(np.count_nonzero(bits))
             )
 
-    def order_for(self, plan):
+    def order_for(self, plan: KernelPlan) -> list[int]:
         """Step order for one batch: rejection (or acceptance) per cost.
 
         AND plans greedily run the step with the highest expected
@@ -681,6 +740,7 @@ class CompiledBackend(Backend):
         scored = []
         for step in plan.steps:
             rate = tracker.rate(step.atom, DEFAULT_SELECTIVITY)
+            assert rate is not None
             if (step.kind == "prefilter"
                     and rate >= PREFILTER_DROP_SELECTIVITY):
                 continue
@@ -701,7 +761,7 @@ class CompiledBackend(Backend):
 
     # -- kernel context (called from generated code) ------------------------
 
-    def _probe_cache(self, state):
+    def _probe_cache(self, state: KernelState) -> None:
         """Feed cached atom masks into the pass as precomputed inputs."""
         if self.atom_cache is None:
             return
@@ -713,7 +773,9 @@ class CompiledBackend(Backend):
             if bits is not None:
                 state.precomputed[step.index] = bits
 
-    def precomputed_bits(self, state, index):
+    def precomputed_bits(
+        self, state: KernelState, index: int
+    ) -> np.ndarray | None:
         """The cached full-batch mask for a step, cut to the active set."""
         full = state.precomputed.get(index)
         if full is None:
@@ -722,7 +784,7 @@ class CompiledBackend(Backend):
             return full
         return full[state.active]
 
-    def _ensure_view(self, state):
+    def _ensure_view(self, state: KernelState) -> None:
         if state.view is not None:
             return
         if state.full:
@@ -741,7 +803,9 @@ class CompiledBackend(Backend):
             state.view = harness.DatasetView(_SubBatch(stream, starts))
             state.cache = {}
 
-    def string_bits(self, state, needle, block):
+    def string_bits(
+        self, state: KernelState, needle: Any, block: int
+    ) -> np.ndarray:
         """Direct string-matcher sweep over the surviving sub-stream."""
         from ..core.string_match import record_match_array
 
@@ -750,7 +814,9 @@ class CompiledBackend(Backend):
             state.view.stream, state.view.starts, needle, block
         )
 
-    def atom_bits(self, state, atom):
+    def atom_bits(
+        self, state: KernelState, atom: comp.RawFilter
+    ) -> np.ndarray:
         """Harness evaluation of one atom over the surviving records.
 
         Full-batch evaluations with an :class:`AtomCache` attached run
@@ -763,7 +829,9 @@ class CompiledBackend(Backend):
         self._ensure_view(state)
         return harness.evaluate_atom(state.view, atom, state.cache)
 
-    def store(self, state, index, bits):
+    def store(
+        self, state: KernelState, index: int, bits: np.ndarray
+    ) -> None:
         """Insert a full-batch mask into the shared AtomCache."""
         if (self.atom_cache is None or not state.full
                 or state.fingerprint is None):
@@ -773,7 +841,7 @@ class CompiledBackend(Backend):
             state.fingerprint, step.atom.cache_key(), bits
         )
 
-    def refine(self, state, bits, index):
+    def refine(self, state: KernelState, bits: Any, index: int) -> None:
         """AND-plan step result: shrink the active set (maybe lazily).
 
         Gathering survivors into a compact sub-stream and rebuilding
@@ -804,7 +872,9 @@ class CompiledBackend(Backend):
         else:
             state.pending = survivors
 
-    def accumulate(self, state, bits, index):
+    def accumulate(
+        self, state: KernelState, bits: Any, index: int
+    ) -> None:
         """OR-plan step result: accept, and mask accepted records out.
 
         Mirrors :meth:`refine`'s lazy shrink: already-accepted records
@@ -835,12 +905,12 @@ class CompiledBackend(Backend):
         else:
             state.pending = remaining
 
-    def note_skipped(self, state, remaining):
+    def note_skipped(self, state: KernelState, remaining: int) -> None:
         """The active set emptied: the rest of the order never scans."""
         state.steps_skipped += remaining
         state.short_circuited += remaining * state.num_records
 
-    def finish(self, state):
+    def finish(self, state: KernelState) -> np.ndarray:
         if state.plan.mode == "and":
             accepted = state.active if state.pending is None else (
                 state.active[state.pending]
@@ -852,7 +922,7 @@ class CompiledBackend(Backend):
 
     # -- reporting ----------------------------------------------------------
 
-    def stats(self):
+    def stats(self) -> dict[str, Any]:
         return {
             "kernels_compiled": self.kernels_compiled,
             "kernels_reused": self.kernels_reused,
@@ -862,7 +932,7 @@ class CompiledBackend(Backend):
             "fallback_reason": self.fallback_reason,
         }
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"CompiledBackend(compiled={self.kernels_compiled}, "
             f"reused={self.kernels_reused})"

@@ -31,7 +31,6 @@ from ..eval import harness
 from .atom_cache import as_atom_cache
 from .backends import (
     ScalarBackend,
-    VectorizedBackend,
     as_dataset,
     resolve_backend,
     resolve_expression,
@@ -58,7 +57,7 @@ class EngineConfig:
     def __init__(self, backend="vectorized",
                  chunk_bytes=DEFAULT_CHUNK_BYTES, num_workers=1,
                  transport=DEFAULT_TRANSPORT, mp_context=None,
-                 cache_store=None):
+                 cache_store=None, verify_kernels=None):
         if chunk_bytes <= 0:
             raise ReproError("chunk_bytes must be positive")
         if num_workers <= 0:
@@ -79,6 +78,12 @@ class EngineConfig:
         #: directory path (implies an AtomCache when none is passed) —
         #: LRU-evicted entries demote to disk, misses promote them back
         self.cache_store = cache_store
+        #: static kernel verification (:mod:`repro.analysis`): ``True``
+        #: proves every compiled kernel's source whitelist + plan
+        #: equivalence before it runs, ``False`` skips, ``None`` — the
+        #: default — enables it under pytest (``repro serve`` passes
+        #: ``True`` explicitly)
+        self.verify_kernels = verify_kernels
 
     def transport_name(self):
         transport = resolve_transport(self.transport)
@@ -91,7 +96,8 @@ class EngineConfig:
             f"num_workers={self.num_workers}, "
             f"transport={self.transport_name()!r}, "
             f"mp_context={self.mp_context!r}, "
-            f"cache_store={self.cache_store!r})"
+            f"cache_store={self.cache_store!r}, "
+            f"verify_kernels={self.verify_kernels!r})"
         )
 
 
@@ -136,7 +142,8 @@ class FilterEngine:
     def __init__(self, backend="vectorized",
                  chunk_bytes=DEFAULT_CHUNK_BYTES, num_workers=1,
                  config=None, cache=None, transport=DEFAULT_TRANSPORT,
-                 mp_context=None, cache_store=None):
+                 mp_context=None, cache_store=None,
+                 verify_kernels=None):
         if isinstance(backend, EngineConfig):
             # FilterEngine(EngineConfig(...)) — the config is the
             # natural first positional argument, not a backend name
@@ -149,7 +156,8 @@ class FilterEngine:
             backend = "vectorized"
         if config is None:
             config = EngineConfig(backend, chunk_bytes, num_workers,
-                                  transport, mp_context, cache_store)
+                                  transport, mp_context, cache_store,
+                                  verify_kernels)
         elif not isinstance(config, EngineConfig):
             raise ReproError(
                 f"config must be an EngineConfig, got {config!r}"
@@ -163,6 +171,7 @@ class FilterEngine:
                     ("transport", transport, DEFAULT_TRANSPORT),
                     ("mp_context", mp_context, None),
                     ("cache_store", cache_store, None),
+                    ("verify_kernels", verify_kernels, None),
                 )
                 if value != default
             ]
@@ -225,6 +234,9 @@ class FilterEngine:
             instance.atom_cache = self.atom_cache
         if getattr(instance, "selectivity", False) is None:
             instance.selectivity = self.selectivity
+        if (self.config.verify_kernels is not None
+                and getattr(instance, "verify_kernels", False) is None):
+            instance.verify_kernels = self.config.verify_kernels
         return instance
 
     # -- whole-corpus evaluation --------------------------------------------

@@ -49,6 +49,7 @@ import multiprocessing
 import os
 import pickle
 import queue as _queue
+import threading
 import time
 import weakref
 from multiprocessing import connection
@@ -823,8 +824,12 @@ class ResidentWorkerPool:
         self._active = False
         self._closed = False
         self._broken = None
-        self._slots = []
-        self._free = []
+        #: guards the shared-memory slot ring — gateway engines share
+        #: one pool across executor threads, and a slot handed to two
+        #: batches at once would interleave their payloads
+        self._ring_lock = threading.Lock()
+        self._slots = []  # guarded-by: _ring_lock
+        self._free = []  # guarded-by: _ring_lock
         for index in range(self.num_slots):
             shm = shared_memory.SharedMemory(
                 create=True, size=self.slot_bytes
@@ -927,7 +932,8 @@ class ResidentWorkerPool:
     def _release_slot(self, entry):
         slot = entry.get("slot")
         if slot is not None:
-            self._free.append(slot)
+            with self._ring_lock:
+                self._free.append(slot)
             entry["slot"] = None
 
     def _handle_message(self, handle, message):
@@ -1105,8 +1111,12 @@ class ResidentWorkerPool:
                 )
         handle = min(live, key=lambda h: len(h.assigned))
         entry = {"records": records, "worker": handle, "slot": None}
-        if self._free and batch_slot_bytes(records) <= self.slot_bytes:
-            slot = self._free.pop()
+        slot = None
+        if batch_slot_bytes(records) <= self.slot_bytes:
+            with self._ring_lock:
+                if self._free:
+                    slot = self._free.pop()
+        if slot is not None:
             _write_batch(slot.shm.buf, records)
             entry["slot"] = slot
             handle.task_queue.put(("batch", seq, slot.shm.name))
@@ -1214,7 +1224,8 @@ class ResidentWorkerPool:
 
     def slot_names(self):
         """Names of the live shared-memory slots (empty once closed)."""
-        return [slot.shm.name for slot in self._slots]
+        with self._ring_lock:
+            return [slot.shm.name for slot in self._slots]
 
     def worker_pids(self):
         """PIDs of the currently live workers (fault-injection hook)."""
@@ -1242,7 +1253,8 @@ class ResidentWorkerPool:
         # and unlinks the slot ring; calling it marks it dead so GC
         # and interpreter exit do not run it again
         self._finalizer()
-        self._free = []
+        with self._ring_lock:
+            self._free = []
 
     def __enter__(self):
         return self

@@ -58,6 +58,17 @@ class CachePersistenceError(ReproError):
     """
 
 
+class KernelVerificationError(ReproError):
+    """A generated fused kernel failed static verification.
+
+    Raised at codegen/registration time by
+    :mod:`repro.analysis.kernel_verify` when a compiled kernel's source
+    escapes the kernel ABI whitelist or its evaluation plan is not
+    boolean-equivalent to the filter expression it claims to implement
+    — a miscompile surfaces as a typed error instead of wrong bits.
+    """
+
+
 class SynthesisError(ReproError):
     """A circuit could not be built or technology-mapped."""
 

@@ -92,7 +92,7 @@ class DatasetView:
             self._structural_view = (masked, closes, commas, close_records)
         return self._structural_view
 
-    # -- per-atom caches ---------------------------------------------------------
+    # -- per-atom caches ------------------------------------------------------
 
     def string_fire_positions(self, needle, block):
         """Sorted global positions where an sB matcher fires."""

@@ -268,7 +268,7 @@ class AIG:
         return table
 
     def _simulate_cone(self, root_literal, leaves, inputs):
-        """Simulate only the cone of ``root_literal`` treating leaves as PIs."""
+        """Simulate the cone of ``root_literal`` with leaves as PIs."""
         root = node_of(root_literal)
         leaf_set = set(leaves)
         order = []

@@ -110,7 +110,7 @@ class BitVec:
                 above = aig.mux(bit, TRUE, above)
         return aig.lnot(above)
 
-    # -- arithmetic ------------------------------------------------------------
+    # -- arithmetic -----------------------------------------------------------
 
     def increment(self, enable=TRUE):
         """Returns self + enable (ripple-carry, saturating is NOT applied)."""
@@ -161,7 +161,7 @@ class Circuit:
         self.inputs = {}   # port name -> literal or BitVec
         self.outputs = {}  # port name -> literal
 
-    # -- ports -----------------------------------------------------------------
+    # -- ports ----------------------------------------------------------------
 
     def add_input(self, name):
         literal = self.aig.add_input(name)
@@ -178,7 +178,7 @@ class Circuit:
     def add_output(self, name, literal):
         self.outputs[name] = literal
 
-    # -- state -----------------------------------------------------------------
+    # -- state ----------------------------------------------------------------
 
     def add_register(self, name, init=False):
         current = self.aig.add_input(f"{name}.q")
@@ -210,7 +210,7 @@ class Circuit:
     def constant_vector(self, width, value):
         return BitVec.constant(self, width, value)
 
-    # -- convenience gates -------------------------------------------------------
+    # -- convenience gates ----------------------------------------------------
 
     def sticky(self, name, set_literal, clear_literal=FALSE):
         """A set-dominant sticky flag register; returns its current literal.

@@ -230,7 +230,7 @@ class DFA:
         return DFA(self.table.copy(), self.start, ~self.accepting)
 
     def product(self, other, op):
-        """Product construction; ``op(bool, bool) -> bool`` combines accepts."""
+        """Product construction; ``op(bool, bool)`` combines accepts."""
         pair_index = {}
         worklist = [(self.start, other.start)]
         pair_index[(self.start, other.start)] = 0

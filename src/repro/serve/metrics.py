@@ -23,7 +23,19 @@ import threading
 
 
 class TenantMetrics:
-    """Traffic counters of one tenant (across all of its sessions)."""
+    """Traffic counters of one tenant (across all of its sessions).
+
+    Deliberately lock-free: every write happens on the gateway's
+    single event-loop thread (session handlers, queue accounting,
+    evaluation results are all awaited there), so writes never race.
+    The only cross-thread reads are stats snapshots
+    (``GatewayMetrics.snapshot`` polled by ``GatewayThread``), which
+    are approximate by design — a snapshot racing one in-flight
+    increment reads a value at most one update stale, never a torn
+    one (CPython int/float attribute stores are atomic).  Keeping the
+    hot per-chunk counters unlocked avoids a lock acquisition per
+    queue event on the busiest path the gateway has.
+    """
 
     def __init__(self, tenant):
         self.tenant = tenant
@@ -130,14 +142,14 @@ class GatewayMetrics:
     """Aggregate view over every tenant plus gateway-level counters."""
 
     def __init__(self):
-        self._tenants = {}
+        self._tenants = {}  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.admission_rejections = 0
-        self.protocol_errors = 0
+        self.admission_rejections = 0  # guarded-by: _lock
+        self.protocol_errors = 0  # guarded-by: _lock
         #: bytes queued across every session right now (the quantity
         #: the gateway's max_inflight_bytes policy bounds)
-        self.inflight_bytes = 0
-        self.peak_inflight_bytes = 0
+        self.inflight_bytes = 0  # guarded-by: _lock
+        self.peak_inflight_bytes = 0  # guarded-by: _lock
 
     def tenant(self, name):
         with self._lock:
@@ -153,11 +165,20 @@ class GatewayMetrics:
                 t.active_sessions for t in self._tenants.values()
             )
 
+    def note_admission_rejection(self):
+        with self._lock:
+            self.admission_rejections += 1
+
+    def note_protocol_error(self):
+        with self._lock:
+            self.protocol_errors += 1
+
     def inflight_changed(self, delta):
-        self.inflight_bytes += delta
-        self.peak_inflight_bytes = max(
-            self.peak_inflight_bytes, self.inflight_bytes
-        )
+        with self._lock:
+            self.inflight_bytes += delta
+            self.peak_inflight_bytes = max(
+                self.peak_inflight_bytes, self.inflight_bytes
+            )
 
     def snapshot(self, engine_stats=None):
         """One JSON-serialisable stats document (the STATS_OK payload).
@@ -168,6 +189,12 @@ class GatewayMetrics:
         """
         with self._lock:
             registry = sorted(self._tenants.items())
+            gateway_counters = {
+                "admission_rejections": self.admission_rejections,
+                "protocol_errors": self.protocol_errors,
+                "inflight_bytes": self.inflight_bytes,
+                "peak_inflight_bytes": self.peak_inflight_bytes,
+            }
         tenants = {
             name: metrics.snapshot() for name, metrics in registry
         }
@@ -187,10 +214,7 @@ class GatewayMetrics:
             "disconnects": sum(
                 t["disconnects"] for t in tenants.values()
             ),
-            "admission_rejections": self.admission_rejections,
-            "protocol_errors": self.protocol_errors,
-            "inflight_bytes": self.inflight_bytes,
-            "peak_inflight_bytes": self.peak_inflight_bytes,
+            **gateway_counters,
         }
         records = totals["records"]
         totals["accept_rate"] = (

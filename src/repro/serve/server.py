@@ -100,7 +100,7 @@ class EnginePool:
         self.workers = workers
         self.engines = [
             FilterEngine(backend=backend, cache=self.cache,
-                         num_workers=workers)
+                         num_workers=workers, verify_kernels=True)
             for _ in range(size)
         ]
         if workers > 1:
@@ -209,7 +209,7 @@ class Session:
                 await self.queue.put((frame_type, payload))
                 self._in_hand = 0
         except ProtocolError as err:
-            self.gateway.metrics.protocol_errors += 1
+            self.gateway.metrics.note_protocol_error()
             self.tenant.errors += 1
             await self.queue.put((protocol.ERROR, err))
         except (ConnectionError, OSError):
@@ -537,14 +537,14 @@ class FilterGateway:
         try:
             frame = await protocol.read_frame_async(reader)
         except ProtocolError as err:
-            self.metrics.protocol_errors += 1
+            self.metrics.note_protocol_error()
             await self._refuse(writer, err)
             return None
         if frame is None:
             return None
         frame_type, payload = frame
         if frame_type != protocol.HELLO:
-            self.metrics.protocol_errors += 1
+            self.metrics.note_protocol_error()
             await self._refuse(writer, ProtocolError(
                 f"expected HELLO, got "
                 f"{protocol.FRAME_NAMES[frame_type]}"
@@ -553,7 +553,7 @@ class FilterGateway:
         try:
             info = protocol.decode_json(protocol.HELLO, payload)
         except ProtocolError as err:
-            self.metrics.protocol_errors += 1
+            self.metrics.note_protocol_error()
             await self._refuse(writer, err)
             return None
         observer = bool(info.get("observer"))
@@ -561,7 +561,7 @@ class FilterGateway:
             not observer
             and self.metrics.active_sessions >= self.max_sessions
         ):
-            self.metrics.admission_rejections += 1
+            self.metrics.note_admission_rejection()
             await self._refuse(writer, AdmissionError(
                 f"gateway at capacity "
                 f"({self.max_sessions} sessions); retry later"

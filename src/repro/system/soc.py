@@ -14,8 +14,6 @@ line rate loses no records.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..engine import FilterEngine
 from ..errors import ReproError
 from .dma import DMAConfig, DMAEngine

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SynthesisError
-from repro.hw.aig import AIG, FALSE, TRUE, node_of, sign_of
+from repro.hw.aig import AIG, FALSE, TRUE, node_of
 
 
 class TestSimplification:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.baselines import (
-    Cascade,
     ExactFilter,
     KeyValueProbe,
     SubstringProbe,
@@ -12,7 +11,7 @@ from repro.baselines import (
     filtered_pipeline_stats,
     optimize_cascade,
 )
-from repro.data import QS0, QT, load_dataset
+from repro.data import QS0, QT
 from repro.errors import QueryError
 
 

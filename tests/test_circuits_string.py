@@ -1,6 +1,5 @@
 """Gate-level string matchers vs behavioural models (paper §III-A)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,6 @@
 """Structural tracker: gate-level vs ScopeMachine vs vectorised closed form."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

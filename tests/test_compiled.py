@@ -11,7 +11,6 @@ cannot specialise.
 import random
 import warnings
 
-import numpy as np
 import pytest
 
 import repro.core.composition as comp
@@ -27,7 +26,6 @@ from repro.engine import (
     resolve_backend,
 )
 from repro.engine.compiled import (
-    KernelPlan,
     build_plan,
     cost_seed,
     generate_kernel_source,

@@ -1,6 +1,5 @@
 """Tests for the LUT cost model (exact vs additive estimate)."""
 
-import pytest
 
 import repro.core.composition as comp
 from repro.core.cost import (

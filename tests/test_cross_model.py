@@ -9,7 +9,6 @@ and none of them may ever reject a record that provably satisfies the
 filter semantics (spot-checked via constructed witnesses).
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

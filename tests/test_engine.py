@@ -3,7 +3,6 @@
 import io
 import random
 
-import numpy as np
 import pytest
 
 import repro.core.composition as comp
@@ -14,7 +13,7 @@ from repro.baselines import (
     SubstringProbe,
     optimize_cascade,
 )
-from repro.data import Dataset, load_dataset
+from repro.data import load_dataset
 from repro.engine import (
     EngineConfig,
     FilterEngine,

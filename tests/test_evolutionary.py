@@ -6,7 +6,6 @@ from repro.core.design_space import DesignSpace
 from repro.core.evolutionary import evolve
 from repro.data import QS1, load_dataset
 from repro.errors import DesignSpaceError
-from repro.eval.pareto import DesignPoint, pareto_front
 
 
 @pytest.fixture(scope="module")

@@ -5,8 +5,6 @@ does, including a gate-level spot check of a composed Pareto-style filter
 against the vectorised harness over real (synthetic) records.
 """
 
-import numpy as np
-import pytest
 
 import repro.core.composition as comp
 from repro.core.compiler import paper_pareto_expression

@@ -151,7 +151,8 @@ class TestJSONPath:
 
     @pytest.mark.parametrize(
         "text",
-        ["$.", "e.a", "$.e[?(@.n=)]", "$.e[abc]", "$[?(n==1)]", "$.e[?(@.v >< 1)]"],
+        ["$.", "e.a", "$.e[?(@.n=)]", "$.e[abc]", "$[?(n==1)]",
+         "$.e[?(@.v >< 1)]"],
     )
     def test_path_errors(self, text):
         with pytest.raises(JSONPathError):

@@ -9,7 +9,6 @@ from repro.regex.ast import (
     Concat,
     Literal,
     Opt,
-    Plus,
     Star,
     alt,
     concat,

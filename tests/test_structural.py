@@ -1,7 +1,6 @@
 """Unit tests for behavioural structural awareness (scalar + vectorised)."""
 
 import numpy as np
-import pytest
 
 from repro.core.structural import (
     ScopeMachine,
@@ -28,13 +27,13 @@ class TestStringMask:
     def test_escaped_quote_does_not_close(self):
         data = br'"a\"b"c'
         masked = string_mask(arr(data))
-        assert masked[6] == False  # 'c' is outside
-        assert masked[4] == True   # 'b' still inside
+        assert not masked[6]  # 'c' is outside
+        assert masked[4]      # 'b' still inside
 
     def test_double_backslash_closes(self):
         data = br'"a\\"b'
         masked = string_mask(arr(data))
-        assert masked[5] == False  # 'b' outside: \\ escaped itself
+        assert not masked[5]  # 'b' outside: \\ escaped itself
 
     def test_empty(self):
         assert string_mask(arr(b"")).shape == (0,)
